@@ -1,0 +1,87 @@
+// Ablation: Algorithm 1's expansion rule (paper, segment-intersects-A)
+// versus the provably complete cell-overlap rule (see
+// VoronoiAreaQuery::ExpansionRule). Reports candidates, time and result
+// agreement on the paper's workload and on adversarial comb queries.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/brute_force_area_query.h"
+#include "core/point_database.h"
+#include "core/voronoi_area_query.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace {
+
+using namespace vaq;
+
+void RunCase(const char* label, PointDatabase& db,
+             const std::vector<Polygon>& queries) {
+  const VoronoiAreaQuery paper_q(&db);
+  VoronoiAreaQuery::Options safe_options;
+  safe_options.expansion = VoronoiAreaQuery::ExpansionRule::kCellOverlap;
+  const VoronoiAreaQuery safe_q(&db, safe_options);
+  const BruteForceAreaQuery brute(&db);
+
+  double paper_ms = 0, safe_ms = 0, paper_cand = 0, safe_cand = 0;
+  int paper_incomplete = 0, safe_incomplete = 0;
+  QueryStats stats;
+  for (const Polygon& area : queries) {
+    const auto truth = brute.Run(area, nullptr);
+    const auto pr = paper_q.Run(area, &stats);
+    paper_ms += stats.elapsed_ms;
+    paper_cand += static_cast<double>(stats.candidates);
+    if (pr != truth) ++paper_incomplete;
+    const auto sr = safe_q.Run(area, &stats);
+    safe_ms += stats.elapsed_ms;
+    safe_cand += static_cast<double>(stats.candidates);
+    if (sr != truth) ++safe_incomplete;
+  }
+  const double n = static_cast<double>(queries.size());
+  std::cout << std::left << std::setw(26) << label << std::right << std::fixed
+            << std::setprecision(3) << "  segment: " << std::setw(9)
+            << paper_ms / n << " ms " << std::setprecision(1) << std::setw(9)
+            << paper_cand / n << " cand " << paper_incomplete
+            << " incomplete   |  cell-overlap: " << std::setprecision(3)
+            << std::setw(9) << safe_ms / n << " ms " << std::setprecision(1)
+            << std::setw(9) << safe_cand / n << " cand " << safe_incomplete
+            << " incomplete\n";
+}
+
+}  // namespace
+
+int main() {
+  constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+  std::cout << "=== Expansion-rule ablation (5E4 uniform points) ===\n";
+  Rng rng(7);
+  PointDatabase db(GenerateUniformPoints(50000, kUnit, &rng));
+
+  // Paper workload: random star decagons.
+  for (const double qs : {0.01, 0.08, 0.32}) {
+    PolygonSpec spec;
+    spec.query_size_fraction = qs;
+    Rng qrng(1000 + static_cast<std::uint64_t>(qs * 1000));
+    std::vector<Polygon> queries;
+    for (int i = 0; i < 50; ++i) {
+      queries.push_back(GenerateQueryPolygon(spec, kUnit, &qrng));
+    }
+    const std::string label =
+        "star decagons, qs=" + std::to_string(static_cast<int>(qs * 100)) + "%";
+    RunCase(label.c_str(), db, queries);
+  }
+
+  // Adversarial comb queries (thin prongs, point-free notches).
+  std::vector<Polygon> combs;
+  for (int teeth = 2; teeth <= 8; ++teeth) {
+    combs.push_back(
+        GenerateCombPolygon(Box::FromExtents(0.2, 0.2, 0.8, 0.8), teeth));
+  }
+  RunCase("combs 2..8 teeth", db, combs);
+
+  std::cout << "\n(\"incomplete\" counts queries whose result set differed "
+               "from brute force; the paper rule can be incomplete only "
+               "across point-free corridors, dense data keeps it exact.)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// google-benchmark micro-benchmarks of the Delaunay/Voronoi substrate:
+// construction throughput, neighbour iteration and diagram extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "delaunay/triangulation.h"
+#include "delaunay/voronoi.h"
+#include "workload/point_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+std::vector<Point> BenchPoints(std::size_t n, PointDistribution d) {
+  Rng rng(2024);
+  return GeneratePoints(n, kUnit, d, &rng);
+}
+
+void BM_DelaunayBuildUniform(benchmark::State& state) {
+  const auto points = BenchPoints(static_cast<std::size_t>(state.range(0)),
+                                  PointDistribution::kUniform);
+  for (auto _ : state) {
+    DelaunayTriangulation dt(points);
+    benchmark::DoNotOptimize(dt.num_triangles());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_DelaunayBuildUniform)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DelaunayBuildClustered(benchmark::State& state) {
+  const auto points = BenchPoints(100000, PointDistribution::kClustered);
+  for (auto _ : state) {
+    DelaunayTriangulation dt(points);
+    benchmark::DoNotOptimize(dt.num_triangles());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_DelaunayBuildClustered)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborIteration(benchmark::State& state) {
+  const auto points = BenchPoints(100000, PointDistribution::kUniform);
+  DelaunayTriangulation dt(points);
+  PointId v = 0;
+  for (auto _ : state) {
+    std::size_t degree_sum = 0;
+    for (const PointId u : dt.NeighborsOf(v)) degree_sum += u;
+    benchmark::DoNotOptimize(degree_sum);
+    v = (v + 1) % static_cast<PointId>(points.size());
+  }
+}
+BENCHMARK(BM_NeighborIteration);
+
+void BM_VoronoiExtraction(benchmark::State& state) {
+  const auto points = BenchPoints(static_cast<std::size_t>(state.range(0)),
+                                  PointDistribution::kUniform);
+  DelaunayTriangulation dt(points);
+  for (auto _ : state) {
+    VoronoiDiagram vd(dt, kUnit);
+    benchmark::DoNotOptimize(vd.TotalArea());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_VoronoiExtraction)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vaq
+
+BENCHMARK_MAIN();

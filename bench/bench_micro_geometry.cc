@@ -1,0 +1,125 @@
+// google-benchmark micro-benchmarks of the geometry kernel: the predicates
+// and polygon tests that dominate both area-query implementations.
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/polygon.h"
+#include "geometry/predicates.h"
+#include "geometry/segment.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+std::vector<Point> BenchPoints(std::size_t n) {
+  Rng rng(42);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  }
+  return points;
+}
+
+void BM_Orient2D_Generic(benchmark::State& state) {
+  const auto pts = BenchPoints(3000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Orient2D(pts[i % 1000], pts[1000 + i % 1000], pts[2000 + i % 1000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient2D_Generic);
+
+void BM_Orient2D_NearDegenerate(benchmark::State& state) {
+  // Forces the exact-arithmetic fallback every iteration.
+  const Point a{0.5, 0.5};
+  const Point b{12.0, 12.0};
+  const Point c{24.0, 24.0 + 1e-14};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Orient2D(a, b, c));
+  }
+}
+BENCHMARK(BM_Orient2D_NearDegenerate);
+
+void BM_InCircle_Generic(benchmark::State& state) {
+  const auto pts = BenchPoints(4000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InCircle(pts[i % 1000], pts[1000 + i % 1000],
+                                      pts[2000 + i % 1000],
+                                      pts[3000 + i % 1000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InCircle_Generic);
+
+void BM_InCircle_NearCocircular(benchmark::State& state) {
+  const Point a{0.5, 0.0}, b{1.0, 0.5}, c{0.5, 1.0};
+  const Point d{1e-17, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InCircle(a, b, c, d));
+  }
+}
+BENCHMARK(BM_InCircle_NearCocircular);
+
+void BM_PolygonContains(benchmark::State& state) {
+  Rng rng(7);
+  PolygonSpec spec;
+  spec.vertices = static_cast<int>(state.range(0));
+  spec.query_size_fraction = 0.25;
+  const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+  const auto pts = BenchPoints(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Contains(pts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PolygonContains)->Arg(4)->Arg(10)->Arg(40);
+
+void BM_PolygonIntersectsSegment(benchmark::State& state) {
+  Rng rng(8);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.25;
+  const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+  const auto pts = BenchPoints(2048);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Segment s{pts[i & 1023], pts[1024 + (i & 1023)]};
+    benchmark::DoNotOptimize(poly.Intersects(s));
+    ++i;
+  }
+}
+BENCHMARK(BM_PolygonIntersectsSegment);
+
+void BM_SegmentsIntersect(benchmark::State& state) {
+  const auto pts = BenchPoints(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Segment s{pts[i & 1023], pts[1024 + (i & 1023)]};
+    const Segment t{pts[2048 + (i & 1023)], pts[3072 + (i & 1023)]};
+    benchmark::DoNotOptimize(SegmentsIntersect(s, t));
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentsIntersect);
+
+void BM_InteriorPoint(benchmark::State& state) {
+  Rng rng(9);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.1;
+  const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.InteriorPoint());
+  }
+}
+BENCHMARK(BM_InteriorPoint);
+
+}  // namespace
+}  // namespace vaq
+
+BENCHMARK_MAIN();

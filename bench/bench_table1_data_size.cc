@@ -1,0 +1,57 @@
+// Reproduces Table I, Fig. 4 and Fig. 5 of the paper: traditional vs
+// Voronoi-based area query as the data size grows from 1E5 to 1E6 points
+// (query size fixed at 1%).
+//
+// Two timing models are reported:
+//  * RAW        — pure in-memory C++ wall-clock;
+//  * IO MODEL   — every candidate geometry fetch charged 1us, restoring the
+//                 paper's cost regime (disk-framed, interpreted stack); see
+//                 DESIGN.md "Substitutions".
+// Candidate / redundant-validation counts are identical across models and
+// are the paper's primary effect (Fig. 5).
+//
+// Usage: bench_table1_data_size [--quick]
+//   --quick: 3 data sizes, 20 repetitions (CI smoke run). Default: the
+//   paper's full 10 sizes at 100 repetitions.
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "workload/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace vaq;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::vector<std::size_t> data_sizes;
+  if (quick) {
+    data_sizes = {100000, 300000, 500000};
+  } else {
+    for (int i = 1; i <= 10; ++i) data_sizes.push_back(100000u * i);
+  }
+  const int reps = quick ? 20 : 100;
+
+  for (const double fetch_ns : {0.0, 1000.0}) {
+    std::vector<ExperimentRow> rows;
+    for (const std::size_t n : data_sizes) {
+      ExperimentConfig config;
+      config.data_size = n;
+      config.query_size_fraction = 0.01;  // Paper: fixed at 1%.
+      config.repetitions = reps;
+      config.seed = 20200101;
+      config.simulated_fetch_ns = fetch_ns;
+      rows.push_back(RunExperiment(config));
+    }
+    std::cout << "\n=== Table I (" << (fetch_ns > 0 ? "IO MODEL, 1us/fetch" : "RAW")
+              << "): query size 1%, " << reps << " reps/row ===\n";
+    PrintPaperTable(rows, /*vary_query_size=*/false, std::cout);
+    std::cout << "\n--- Fig. 4 (time) & Fig. 5 (redundant validations) series ---\n";
+    PrintFigureSeries(rows, /*vary_query_size=*/false, std::cout);
+    int mismatches = 0;
+    for (const ExperimentRow& r : rows) mismatches += r.mismatches;
+    std::cout << "result-set mismatches between methods: " << mismatches
+              << "\n";
+  }
+  return 0;
+}

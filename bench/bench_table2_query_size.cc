@@ -1,0 +1,44 @@
+// Reproduces Table II, Fig. 6 and Fig. 7 of the paper: traditional vs
+// Voronoi-based area query as the query size grows from 1% to 32% of the
+// domain (data size fixed at 1E5 points). See bench_table1_data_size.cc
+// for the two timing models.
+//
+// Usage: bench_table2_query_size [--quick]
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "workload/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace vaq;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::vector<double> query_sizes =
+      quick ? std::vector<double>{0.01, 0.08, 0.32}
+            : std::vector<double>{0.01, 0.02, 0.04, 0.08, 0.16, 0.32};
+  const int reps = quick ? 20 : 100;
+
+  for (const double fetch_ns : {0.0, 1000.0}) {
+    std::vector<ExperimentRow> rows;
+    for (const double qs : query_sizes) {
+      ExperimentConfig config;
+      config.data_size = 100000;  // Paper: fixed at 1E5.
+      config.query_size_fraction = qs;
+      config.repetitions = reps;
+      config.seed = 20200202;
+      config.simulated_fetch_ns = fetch_ns;
+      rows.push_back(RunExperiment(config));
+    }
+    std::cout << "\n=== Table II (" << (fetch_ns > 0 ? "IO MODEL, 1us/fetch" : "RAW")
+              << "): data size 1E5, " << reps << " reps/row ===\n";
+    PrintPaperTable(rows, /*vary_query_size=*/true, std::cout);
+    std::cout << "\n--- Fig. 6 (time) & Fig. 7 (redundant validations) series ---\n";
+    PrintFigureSeries(rows, /*vary_query_size=*/true, std::cout);
+    int mismatches = 0;
+    for (const ExperimentRow& r : rows) mismatches += r.mismatches;
+    std::cout << "result-set mismatches between methods: " << mismatches
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef VAQ_CORE_AREA_QUERY_H_
+#define VAQ_CORE_AREA_QUERY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "geometry/polygon.h"
+#include "index/spatial_index.h"
+
+namespace vaq {
+
+/// Interface of an area-query implementation: given a simple query polygon
+/// `area`, return the ids of every database point contained in it.
+///
+/// Implementations:
+///  * `TraditionalAreaQuery` — filter (window query on MBR) + refine;
+///  * `VoronoiAreaQuery`     — the paper's incremental candidate generation
+///                             over the Voronoi/Delaunay graph (Algorithm 1);
+///  * `BruteForceAreaQuery`  — linear scan, ground truth for tests.
+class AreaQuery {
+ public:
+  virtual ~AreaQuery() = default;
+
+  /// Executes the query. The returned ids are sorted ascending (so result
+  /// sets compare directly across implementations). If `stats` is non-null
+  /// it is reset and filled with this execution's counters.
+  virtual std::vector<PointId> Run(const Polygon& area,
+                                   QueryStats* stats) const = 0;
+
+  /// Implementation name for benchmark tables.
+  virtual std::string_view Name() const = 0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_AREA_QUERY_H_

@@ -1,0 +1,29 @@
+#include "core/brute_force_area_query.h"
+
+#include <chrono>
+
+namespace vaq {
+
+std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
+                                              QueryStats* stats) const {
+  if (stats != nullptr) stats->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PointId> result;
+  const std::size_t n = db_->size();
+  for (PointId id = 0; id < n; ++id) {
+    const Point& p = db_->FetchPoint(id, stats);
+    if (area.Contains(p)) result.push_back(id);
+  }
+  if (stats != nullptr) {
+    stats->candidates = n;
+    stats->results = result.size();
+    stats->candidate_hits = stats->results;
+    stats->elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return result;  // Already sorted: ids scanned in ascending order.
+}
+
+}  // namespace vaq

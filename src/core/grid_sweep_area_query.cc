@@ -1,0 +1,98 @@
+#include "core/grid_sweep_area_query.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace vaq {
+
+GridSweepAreaQuery::GridSweepAreaQuery(const PointDatabase* db,
+                                       int target_bucket_size)
+    : db_(db) {
+  world_ = db->bounds();
+  if (world_.Empty()) world_ = Box{{0, 0}, {1, 1}};
+  const double n = static_cast<double>(std::max<std::size_t>(db->size(), 1));
+  side_ = std::max(1, static_cast<int>(std::sqrt(n / target_bucket_size)));
+  cell_w_ = std::max(world_.Width(), 1e-12) / side_;
+  cell_h_ = std::max(world_.Height(), 1e-12) / side_;
+  cells_.assign(static_cast<std::size_t>(side_) * side_, {});
+  const std::vector<Point>& points = db->points();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int cx = std::clamp(
+        static_cast<int>((points[i].x - world_.min.x) / cell_w_), 0,
+        side_ - 1);
+    const int cy = std::clamp(
+        static_cast<int>((points[i].y - world_.min.y) / cell_h_), 0,
+        side_ - 1);
+    cells_[static_cast<std::size_t>(cy) * side_ + cx].push_back(
+        static_cast<PointId>(i));
+  }
+}
+
+Box GridSweepAreaQuery::CellBox(int cx, int cy) const {
+  return Box{{world_.min.x + cx * cell_w_, world_.min.y + cy * cell_h_},
+             {world_.min.x + (cx + 1) * cell_w_,
+              world_.min.y + (cy + 1) * cell_h_}};
+}
+
+std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
+                                             QueryStats* stats) const {
+  if (stats != nullptr) stats->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PointId> result;
+
+  const Box window = Box::Intersection(area.Bounds(), world_);
+  if (!window.Empty()) {
+    const int x0 = std::clamp(
+        static_cast<int>((window.min.x - world_.min.x) / cell_w_), 0,
+        side_ - 1);
+    const int x1 = std::clamp(
+        static_cast<int>((window.max.x - world_.min.x) / cell_w_), 0,
+        side_ - 1);
+    const int y0 = std::clamp(
+        static_cast<int>((window.min.y - world_.min.y) / cell_h_), 0,
+        side_ - 1);
+    const int y1 = std::clamp(
+        static_cast<int>((window.max.y - world_.min.y) / cell_h_), 0,
+        side_ - 1);
+    for (int cy = y0; cy <= y1; ++cy) {
+      for (int cx = x0; cx <= x1; ++cx) {
+        const std::vector<PointId>& bucket =
+            cells_[static_cast<std::size_t>(cy) * side_ + cx];
+        if (bucket.empty()) continue;
+        if (stats != nullptr) ++stats->index_node_accesses;
+        const Box cell = CellBox(cx, cy);
+        if (area.ContainsBox(cell)) {
+          // Interior cell: accept wholesale. The records are still fetched
+          // (they must be returned) but no validation happens.
+          for (const PointId id : bucket) {
+            db_->FetchPoint(id, stats);
+            result.push_back(id);
+          }
+        } else if (area.IntersectsBox(cell)) {
+          // Boundary cell: validate point by point.
+          for (const PointId id : bucket) {
+            if (stats != nullptr) ++stats->candidates;
+            const Point& p = db_->FetchPoint(id, stats);
+            if (area.Contains(p)) {
+              result.push_back(id);
+              if (stats != nullptr) ++stats->candidate_hits;
+            }
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+
+  if (stats != nullptr) {
+    stats->results = result.size();
+    stats->elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace vaq

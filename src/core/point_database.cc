@@ -1,0 +1,41 @@
+#include "core/point_database.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vaq {
+
+void PointDatabase::SimulateFetchLatency() const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<long>(simulated_fetch_ns_));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Busy-wait: models synchronous object IO.
+  }
+}
+
+PointDatabase::PointDatabase(std::vector<Point> points, Options options)
+    : points_(std::move(points)),
+      rtree_(options.rtree_max_entries, options.rtree_min_entries),
+      delaunay_(points_) {
+  for (const Point& p : points_) bounds_.ExpandToInclude(p);
+  rtree_.Build(points_);
+}
+
+const VoronoiDiagram& PointDatabase::voronoi() const {
+  if (voronoi_ == nullptr) {
+    // Inflate the clip box a little so border cells keep a margin around
+    // their generators.
+    Box clip = bounds_;
+    const double dx = std::max(bounds_.Width(), 1e-9) * 0.05;
+    const double dy = std::max(bounds_.Height(), 1e-9) * 0.05;
+    clip.min.x -= dx;
+    clip.min.y -= dy;
+    clip.max.x += dx;
+    clip.max.y += dy;
+    voronoi_ = std::make_unique<VoronoiDiagram>(delaunay_, clip);
+  }
+  return *voronoi_;
+}
+
+}  // namespace vaq

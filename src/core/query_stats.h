@@ -1,0 +1,57 @@
+#ifndef VAQ_CORE_QUERY_STATS_H_
+#define VAQ_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace vaq {
+
+/// Cost counters collected by one area-query execution. These mirror the
+/// quantities the paper reports:
+///  * `candidates`            — Table I/II "Candidate number": points whose
+///                              full geometry was loaded and validated;
+///  * `RedundantValidations()`— Fig. 5/7 "times of redundant validations":
+///                              validated candidates that were not results;
+///  * `geometry_loads`        — object fetches (IO proxy in a disk-resident
+///                              database);
+///  * `index_node_accesses`   — index pages touched (filter-step IO proxy);
+///  * `elapsed_ms`            — wall-clock time of the whole query.
+/// The Voronoi method additionally counts its graph work
+/// (`neighbor_expansions`, `segment_tests`).
+struct QueryStats {
+  std::uint64_t candidates = 0;
+  std::uint64_t candidate_hits = 0;  // Candidates that passed validation.
+  std::uint64_t results = 0;
+  std::uint64_t geometry_loads = 0;
+  std::uint64_t index_node_accesses = 0;
+  std::uint64_t neighbor_expansions = 0;
+  std::uint64_t segment_tests = 0;
+  double elapsed_ms = 0.0;
+
+  /// Candidates that failed refinement — the waste both methods try to
+  /// minimise. For the window-filter and Voronoi methods every result is a
+  /// validated candidate, so this equals candidates - results; grid-sweep
+  /// accepts interior cells wholesale, so it tracks hits separately.
+  std::uint64_t RedundantValidations() const {
+    return candidates - candidate_hits;
+  }
+
+  void Reset() { *this = QueryStats{}; }
+
+  /// Element-wise accumulation (used by the experiment runner to average
+  /// over repetitions).
+  QueryStats& operator+=(const QueryStats& o) {
+    candidates += o.candidates;
+    candidate_hits += o.candidate_hits;
+    results += o.results;
+    geometry_loads += o.geometry_loads;
+    index_node_accesses += o.index_node_accesses;
+    neighbor_expansions += o.neighbor_expansions;
+    segment_tests += o.segment_tests;
+    elapsed_ms += o.elapsed_ms;
+    return *this;
+  }
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_QUERY_STATS_H_

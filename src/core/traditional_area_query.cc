@@ -1,0 +1,45 @@
+#include "core/traditional_area_query.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vaq {
+
+TraditionalAreaQuery::TraditionalAreaQuery(const PointDatabase* db,
+                                           const SpatialIndex* index)
+    : db_(db), index_(index != nullptr ? index : &db->rtree()) {}
+
+std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
+                                               QueryStats* stats) const {
+  if (stats != nullptr) stats->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t nodes_before = index_->stats().node_accesses;
+
+  // Filter: all points inside the MBR of the query area.
+  std::vector<PointId> candidates;
+  index_->WindowQuery(area.Bounds(), &candidates);
+
+  // Refine: full geometric validation of every candidate.
+  std::vector<PointId> result;
+  result.reserve(candidates.size());
+  for (const PointId id : candidates) {
+    const Point& p = db_->FetchPoint(id, stats);
+    if (area.Contains(p)) result.push_back(id);
+  }
+  std::sort(result.begin(), result.end());
+
+  if (stats != nullptr) {
+    stats->candidates = candidates.size();
+    stats->results = result.size();
+    stats->candidate_hits = stats->results;
+    stats->index_node_accesses =
+        index_->stats().node_accesses - nodes_before;
+    stats->elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace vaq

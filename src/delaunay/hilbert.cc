@@ -1,0 +1,52 @@
+#include "delaunay/hilbert.h"
+
+#include <algorithm>
+
+namespace vaq {
+
+std::uint64_t HilbertD(std::uint32_t order, std::uint32_t x, std::uint32_t y) {
+  std::uint64_t rx, ry, d = 0;
+  for (std::uint64_t s = 1ULL << (order - 1); s > 0; s >>= 1) {
+    rx = (x & s) > 0 ? 1 : 0;
+    ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<std::uint32_t>(s - 1 - x);
+        y = static_cast<std::uint32_t>(s - 1 - y);
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> HilbertOrder(const std::vector<Point>& points) {
+  constexpr std::uint32_t kOrder = 16;
+  constexpr double kCells = 65535.0;  // 2^16 - 1.
+
+  Box bounds;
+  for (const Point& p : points) bounds.ExpandToInclude(p);
+  const double w = std::max(bounds.Width(), 1e-300);
+  const double h = std::max(bounds.Height(), 1e-300);
+
+  std::vector<std::uint64_t> keys(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto gx = static_cast<std::uint32_t>(
+        (points[i].x - bounds.min.x) / w * kCells);
+    const auto gy = static_cast<std::uint32_t>(
+        (points[i].y - bounds.min.y) / h * kCells);
+    keys[i] = HilbertD(kOrder, gx, gy);
+  }
+  std::vector<std::uint32_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return keys[a] < keys[b] || (keys[a] == keys[b] && a < b);
+  });
+  return order;
+}
+
+}  // namespace vaq

@@ -1,0 +1,26 @@
+#ifndef VAQ_DELAUNAY_HILBERT_H_
+#define VAQ_DELAUNAY_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// Hilbert space-filling-curve utilities used to order Delaunay insertions
+/// (a simple BRIO substitute): inserting spatially coherent points keeps the
+/// walk-based point location O(1) amortised.
+
+/// Distance along a Hilbert curve of order `order` (grid of 2^order x
+/// 2^order cells) for integer cell coordinates (x, y).
+std::uint64_t HilbertD(std::uint32_t order, std::uint32_t x, std::uint32_t y);
+
+/// Returns the permutation of `[0, points.size())` that orders `points`
+/// along a Hilbert curve over their bounding box (order-16 grid).
+std::vector<std::uint32_t> HilbertOrder(const std::vector<Point>& points);
+
+}  // namespace vaq
+
+#endif  // VAQ_DELAUNAY_HILBERT_H_

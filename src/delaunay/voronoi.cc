@@ -1,0 +1,64 @@
+#include "delaunay/voronoi.h"
+
+#include <algorithm>
+
+#include "geometry/clip.h"
+#include "geometry/predicates.h"
+
+namespace vaq {
+
+VoronoiDiagram::VoronoiDiagram(const DelaunayTriangulation& dt,
+                               const Box& clip_box) {
+  const std::size_t n = dt.num_points();
+  generators_.reserve(n);
+  cells_.resize(n);
+  for (PointId v = 0; v < n; ++v) {
+    generators_.push_back(dt.point(v));
+    std::vector<Point> ring;
+    dt.CirculateCell(v, [&](std::uint32_t t) {
+      const auto verts = dt.TriangleVertices(t);
+      ring.push_back(Circumcenter(dt.point(verts[0]), dt.point(verts[1]),
+                                  dt.point(verts[2])));
+    });
+    // CirculateCell yields triangles in CCW order around the generator, so
+    // the circumcenters already form a CCW convex ring.
+    cells_[v] = ClipRingToBox(ring, clip_box);
+  }
+}
+
+double VoronoiDiagram::CellArea(PointId v) const {
+  const std::vector<Point>& ring = cells_[v];
+  if (ring.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    twice += ring[i].Cross(ring[(i + 1) % ring.size()]);
+  }
+  return std::abs(twice) * 0.5;
+}
+
+bool VoronoiDiagram::CellContains(PointId v, const Point& q) const {
+  const std::vector<Point>& ring = cells_[v];
+  if (ring.size() < 3) return false;
+  // Convex containment: q must not be strictly right of any CCW edge.
+  // (Cell rings are convex; clipping preserves convexity.)
+  int expected = 0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const int s =
+        Orient2DSign(ring[i], ring[(i + 1) % ring.size()], q);
+    if (s == 0) continue;
+    if (expected == 0) {
+      expected = s;
+    } else if (s != expected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double VoronoiDiagram::TotalArea() const {
+  double total = 0.0;
+  for (PointId v = 0; v < cells_.size(); ++v) total += CellArea(v);
+  return total;
+}
+
+}  // namespace vaq

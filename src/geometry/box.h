@@ -1,0 +1,109 @@
+#ifndef VAQ_GEOMETRY_BOX_H_
+#define VAQ_GEOMETRY_BOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// An axis-aligned rectangle, the minimum bounding rectangle (MBR) used by
+/// spatial indexes and by the traditional filter step of area queries.
+///
+/// An `Empty()` box (the default) contains nothing and unions as identity.
+struct Box {
+  Point min{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  Point max{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+  constexpr Box() = default;
+  constexpr Box(const Point& mn, const Point& mx) : min(mn), max(mx) {}
+  /// The degenerate box covering a single point.
+  constexpr explicit Box(const Point& p) : min(p), max(p) {}
+
+  /// A box given its four extents. Precondition: `xmin <= xmax && ymin <= ymax`.
+  static constexpr Box FromExtents(double xmin, double ymin, double xmax,
+                                   double ymax) {
+    return Box{{xmin, ymin}, {xmax, ymax}};
+  }
+
+  /// True if this box contains no point (never produced by valid geometry).
+  constexpr bool Empty() const { return min.x > max.x || min.y > max.y; }
+
+  constexpr double Width() const { return max.x - min.x; }
+  constexpr double Height() const { return max.y - min.y; }
+  constexpr double Area() const { return Empty() ? 0.0 : Width() * Height(); }
+  /// Half perimeter ("margin"), used by R-tree split heuristics.
+  constexpr double Margin() const { return Empty() ? 0.0 : Width() + Height(); }
+  constexpr Point Center() const { return Midpoint(min, max); }
+
+  /// True if `p` lies inside or on the border.
+  constexpr bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// True if `o` is fully inside (or equal to) this box.
+  constexpr bool Contains(const Box& o) const {
+    return o.min.x >= min.x && o.max.x <= max.x && o.min.y >= min.y &&
+           o.max.y <= max.y;
+  }
+
+  /// True if the two boxes share at least one point (borders touch counts).
+  constexpr bool Intersects(const Box& o) const {
+    return !(o.min.x > max.x || o.max.x < min.x || o.min.y > max.y ||
+             o.max.y < min.y);
+  }
+
+  /// Grows this box (in place) to cover `p`.
+  void ExpandToInclude(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// Grows this box (in place) to cover `o`.
+  void ExpandToInclude(const Box& o) {
+    if (o.Empty()) return;
+    ExpandToInclude(o.min);
+    ExpandToInclude(o.max);
+  }
+
+  /// The smallest box covering both `a` and `b`.
+  static Box Union(const Box& a, const Box& b) {
+    Box r = a;
+    r.ExpandToInclude(b);
+    return r;
+  }
+
+  /// The overlap of `a` and `b`; `Empty()` if they are disjoint.
+  static Box Intersection(const Box& a, const Box& b) {
+    Box r{{std::max(a.min.x, b.min.x), std::max(a.min.y, b.min.y)},
+          {std::min(a.max.x, b.max.x), std::min(a.max.y, b.max.y)}};
+    return r;
+  }
+
+  /// Squared distance from `p` to the closest point of this box (0 inside).
+  /// This is the MINDIST metric of best-first nearest-neighbour search.
+  constexpr double SquaredDistanceTo(const Point& p) const {
+    const double dx = p.x < min.x ? min.x - p.x : (p.x > max.x ? p.x - max.x : 0.0);
+    const double dy = p.y < min.y ? min.y - p.y : (p.y > max.y ? p.y - max.y : 0.0);
+    return dx * dx + dy * dy;
+  }
+
+  constexpr bool operator==(const Box& o) const {
+    return min == o.min && max == o.max;
+  }
+  constexpr bool operator!=(const Box& o) const { return !(*this == o); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Box& b) {
+  return os << "[" << b.min << " - " << b.max << "]";
+}
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_BOX_H_

@@ -1,0 +1,59 @@
+#include "geometry/clip.h"
+
+namespace vaq {
+namespace {
+
+// One Sutherland–Hodgman pass against the half-plane `Inside(p) == true`,
+// with `Cross(a, b)` returning the intersection of segment (a,b) with the
+// boundary line.
+template <typename InsideFn, typename CrossFn>
+std::vector<Point> ClipAgainst(const std::vector<Point>& ring,
+                               InsideFn inside, CrossFn cross) {
+  std::vector<Point> out;
+  const std::size_t n = ring.size();
+  if (n == 0) return out;
+  out.reserve(n + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& cur = ring[i];
+    const Point& prev = ring[(i + n - 1) % n];
+    const bool cur_in = inside(cur);
+    const bool prev_in = inside(prev);
+    if (cur_in) {
+      if (!prev_in) out.push_back(cross(prev, cur));
+      out.push_back(cur);
+    } else if (prev_in) {
+      out.push_back(cross(prev, cur));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Point> ClipRingToBox(const std::vector<Point>& ring,
+                                 const Box& clip) {
+  auto lerp_x = [](const Point& a, const Point& b, double x) {
+    const double t = (x - a.x) / (b.x - a.x);
+    return Point{x, a.y + t * (b.y - a.y)};
+  };
+  auto lerp_y = [](const Point& a, const Point& b, double y) {
+    const double t = (y - a.y) / (b.y - a.y);
+    return Point{a.x + t * (b.x - a.x), y};
+  };
+
+  std::vector<Point> r = ClipAgainst(
+      ring, [&](const Point& p) { return p.x >= clip.min.x; },
+      [&](const Point& a, const Point& b) { return lerp_x(a, b, clip.min.x); });
+  r = ClipAgainst(
+      r, [&](const Point& p) { return p.x <= clip.max.x; },
+      [&](const Point& a, const Point& b) { return lerp_x(a, b, clip.max.x); });
+  r = ClipAgainst(
+      r, [&](const Point& p) { return p.y >= clip.min.y; },
+      [&](const Point& a, const Point& b) { return lerp_y(a, b, clip.min.y); });
+  r = ClipAgainst(
+      r, [&](const Point& p) { return p.y <= clip.max.y; },
+      [&](const Point& a, const Point& b) { return lerp_y(a, b, clip.max.y); });
+  return r;
+}
+
+}  // namespace vaq

@@ -1,0 +1,21 @@
+#ifndef VAQ_GEOMETRY_CLIP_H_
+#define VAQ_GEOMETRY_CLIP_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// Clips the convex-or-concave ring `ring` (CCW order) against the
+/// axis-aligned box `clip` using Sutherland–Hodgman. Returns the clipped
+/// ring (possibly empty). For concave subjects the result can degenerate
+/// into a ring with coincident edges; Voronoi cells — the use case here —
+/// are convex, for which the algorithm is exact.
+std::vector<Point> ClipRingToBox(const std::vector<Point>& ring,
+                                 const Box& clip);
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_CLIP_H_

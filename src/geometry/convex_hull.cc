@@ -1,0 +1,43 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace vaq {
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const std::size_t n = points.size();
+  if (n < 3) return {};
+
+  std::vector<Point> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           Orient2DSign(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  const std::size_t lower_size = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           Orient2DSign(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  if (hull.size() < 3) return {};
+  return hull;
+}
+
+Polygon ConvexHullPolygon(std::vector<Point> points) {
+  return Polygon(ConvexHull(std::move(points)));
+}
+
+}  // namespace vaq

@@ -1,0 +1,144 @@
+#include "geometry/predicates.h"
+
+#include <cfloat>
+#include <cmath>
+
+#include "geometry/exact_arithmetic.h"
+
+namespace vaq {
+namespace {
+
+// Static filter constants (Shewchuk 1997). DBL_EPSILON here is 2^-52, i.e.
+// twice Shewchuk's "epsilon" (he uses the rounding unit 2^-53).
+constexpr double kEps = DBL_EPSILON / 2.0;
+constexpr double kCcwErrBound = (3.0 + 16.0 * kEps) * kEps;
+constexpr double kIccErrBound = (10.0 + 96.0 * kEps) * kEps;
+
+using Exp16 = Expansion<16>;
+using Exp2k = Expansion<2048>;
+
+}  // namespace
+
+namespace predicates_internal {
+
+double Orient2DExact(const Point& a, const Point& b, const Point& c) {
+  // det = (ax - cx)(by - cy) - (ay - cy)(bx - cx), all exact.
+  const Exp16 acx = ExactDiff<16>(a.x, c.x);
+  const Exp16 bcy = ExactDiff<16>(b.y, c.y);
+  const Exp16 acy = ExactDiff<16>(a.y, c.y);
+  const Exp16 bcx = ExactDiff<16>(b.x, c.x);
+  const Exp16 left = acx.Multiply(bcy);
+  const Exp16 right = acy.Multiply(bcx);
+  return left.Subtract(right).MostSignificant();
+}
+
+double InCircleExact(const Point& a, const Point& b, const Point& c,
+                     const Point& d) {
+  // Translate by d, then compute the 3x3 lifted determinant exactly:
+  //   | adx  ady  adx^2+ady^2 |
+  //   | bdx  bdy  bdx^2+bdy^2 |
+  //   | cdx  cdy  cdx^2+cdy^2 |
+  const Exp2k adx = ExactDiff<2048>(a.x, d.x);
+  const Exp2k ady = ExactDiff<2048>(a.y, d.y);
+  const Exp2k bdx = ExactDiff<2048>(b.x, d.x);
+  const Exp2k bdy = ExactDiff<2048>(b.y, d.y);
+  const Exp2k cdx = ExactDiff<2048>(c.x, d.x);
+  const Exp2k cdy = ExactDiff<2048>(c.y, d.y);
+
+  const Exp2k alift = adx.Multiply(adx).Add(ady.Multiply(ady));
+  const Exp2k blift = bdx.Multiply(bdx).Add(bdy.Multiply(bdy));
+  const Exp2k clift = cdx.Multiply(cdx).Add(cdy.Multiply(cdy));
+
+  const Exp2k bxcy = bdx.Multiply(cdy);
+  const Exp2k cxby = cdx.Multiply(bdy);
+  const Exp2k cxay = cdx.Multiply(ady);
+  const Exp2k axcy = adx.Multiply(cdy);
+  const Exp2k axby = adx.Multiply(bdy);
+  const Exp2k bxay = bdx.Multiply(ady);
+
+  const Exp2k det = alift.Multiply(bxcy.Subtract(cxby))
+                        .Add(blift.Multiply(cxay.Subtract(axcy)))
+                        .Add(clift.Multiply(axby.Subtract(bxay)));
+  return det.MostSignificant();
+}
+
+}  // namespace predicates_internal
+
+double Orient2D(const Point& a, const Point& b, const Point& c) {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det;
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det;
+    detsum = -detleft - detright;
+  } else {
+    return det;
+  }
+  const double errbound = kCcwErrBound * detsum;
+  if (det >= errbound || -det >= errbound) return det;
+  return predicates_internal::Orient2DExact(a, b, c);
+}
+
+int Orient2DSign(const Point& a, const Point& b, const Point& c) {
+  const double d = Orient2D(a, b, c);
+  return d > 0.0 ? 1 : (d < 0.0 ? -1 : 0);
+}
+
+double InCircle(const Point& a, const Point& b, const Point& c,
+                const Point& d) {
+  const double adx = a.x - d.x;
+  const double bdx = b.x - d.x;
+  const double cdx = c.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdy = b.y - d.y;
+  const double cdy = c.y - d.y;
+
+  const double bdxcdy = bdx * cdy;
+  const double cdxbdy = cdx * bdy;
+  const double alift = adx * adx + ady * ady;
+
+  const double cdxady = cdx * ady;
+  const double adxcdy = adx * cdy;
+  const double blift = bdx * bdx + bdy * bdy;
+
+  const double adxbdy = adx * bdy;
+  const double bdxady = bdx * ady;
+  const double clift = cdx * cdx + cdy * cdy;
+
+  const double det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) +
+                     clift * (adxbdy - bdxady);
+
+  const double permanent =
+      (std::fabs(bdxcdy) + std::fabs(cdxbdy)) * alift +
+      (std::fabs(cdxady) + std::fabs(adxcdy)) * blift +
+      (std::fabs(adxbdy) + std::fabs(bdxady)) * clift;
+  const double errbound = kIccErrBound * permanent;
+  if (det > errbound || -det > errbound) return det;
+  return predicates_internal::InCircleExact(a, b, c, d);
+}
+
+int InCircleSign(const Point& a, const Point& b, const Point& c,
+                 const Point& d) {
+  const double v = InCircle(a, b, c, d);
+  return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0);
+}
+
+Point Circumcenter(const Point& a, const Point& b, const Point& c) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double acx = c.x - a.x;
+  const double acy = c.y - a.y;
+  const double d = 2.0 * (abx * acy - aby * acx);
+  const double ab2 = abx * abx + aby * aby;
+  const double ac2 = acx * acx + acy * acy;
+  const double ux = (acy * ab2 - aby * ac2) / d;
+  const double uy = (abx * ac2 - acx * ab2) / d;
+  return {a.x + ux, a.y + uy};
+}
+
+}  // namespace vaq

@@ -1,0 +1,54 @@
+#ifndef VAQ_GEOMETRY_PREDICATES_H_
+#define VAQ_GEOMETRY_PREDICATES_H_
+
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// Robust geometric predicates (filtered, with exact fallback).
+///
+/// Both predicates first evaluate their determinant in double precision and
+/// compare it against a static forward-error bound (Shewchuk's "A" bound).
+/// If the sign cannot be certified, they re-evaluate exactly using expansion
+/// arithmetic (see exact_arithmetic.h). The returned sign is therefore
+/// always the sign of the exact real-arithmetic determinant.
+
+/// Orientation of the triple (a, b, c):
+///  > 0  if they make a left (counter-clockwise) turn,
+///  < 0  if they make a right (clockwise) turn,
+///  == 0 if they are exactly collinear.
+/// The magnitude approximates twice the signed area of triangle (a, b, c).
+double Orient2D(const Point& a, const Point& b, const Point& c);
+
+/// Sign of Orient2D as -1 / 0 / +1.
+int Orient2DSign(const Point& a, const Point& b, const Point& c);
+
+/// In-circle test: assuming (a, b, c) are in counter-clockwise order,
+/// returns
+///  > 0  if d lies strictly inside the circumcircle of (a, b, c),
+///  < 0  if d lies strictly outside,
+///  == 0 if the four points are exactly cocircular.
+/// If (a, b, c) are clockwise the sign is flipped.
+double InCircle(const Point& a, const Point& b, const Point& c,
+                const Point& d);
+
+/// Sign of InCircle as -1 / 0 / +1.
+int InCircleSign(const Point& a, const Point& b, const Point& c,
+                 const Point& d);
+
+/// Circumcenter of the (non-degenerate) triangle (a, b, c).
+/// Precondition: Orient2DSign(a, b, c) != 0. Computed in double precision;
+/// used for Voronoi vertex placement (a construction, not a predicate, so
+/// inexactness is acceptable).
+Point Circumcenter(const Point& a, const Point& b, const Point& c);
+
+namespace predicates_internal {
+/// Exposed for tests: exact (expansion-arithmetic) evaluations.
+double Orient2DExact(const Point& a, const Point& b, const Point& c);
+double InCircleExact(const Point& a, const Point& b, const Point& c,
+                     const Point& d);
+}  // namespace predicates_internal
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_PREDICATES_H_

@@ -1,0 +1,33 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+#include "geometry/predicates.h"
+
+namespace vaq {
+
+bool OnSegment(const Segment& s, const Point& p) {
+  if (Orient2DSign(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) && p.x <= std::max(s.a.x, s.b.x) &&
+         p.y >= std::min(s.a.y, s.b.y) && p.y <= std::max(s.a.y, s.b.y);
+}
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  const int d1 = Orient2DSign(t.a, t.b, s.a);
+  const int d2 = Orient2DSign(t.a, t.b, s.b);
+  const int d3 = Orient2DSign(s.a, s.b, t.a);
+  const int d4 = Orient2DSign(s.a, s.b, t.b);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;  // Proper crossing.
+  }
+  // Collinear / endpoint-touching cases.
+  if (d1 == 0 && OnSegment(t, s.a)) return true;
+  if (d2 == 0 && OnSegment(t, s.b)) return true;
+  if (d3 == 0 && OnSegment(s, t.a)) return true;
+  if (d4 == 0 && OnSegment(s, t.b)) return true;
+  return false;
+}
+
+}  // namespace vaq

@@ -1,0 +1,59 @@
+#ifndef VAQ_GEOMETRY_SEGMENT_H_
+#define VAQ_GEOMETRY_SEGMENT_H_
+
+#include <ostream>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// A closed line segment between two endpoints.
+struct Segment {
+  Point a;
+  Point b;
+
+  constexpr Segment() = default;
+  constexpr Segment(const Point& pa, const Point& pb) : a(pa), b(pb) {}
+
+  /// The MBR of the segment.
+  Box Bounds() const {
+    Box box(a);
+    box.ExpandToInclude(b);
+    return box;
+  }
+
+  /// Segment length.
+  double Length() const { return Distance(a, b); }
+
+  /// Squared distance from `p` to the closest point on the segment.
+  double SquaredDistanceTo(const Point& p) const {
+    const Point d = b - a;
+    const double len2 = d.SquaredNorm();
+    if (len2 == 0.0) return SquaredDistance(p, a);
+    double t = (p - a).Dot(d) / len2;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+    return SquaredDistance(p, a + d * t);
+  }
+
+  constexpr bool operator==(const Segment& o) const {
+    return a == o.a && b == o.b;
+  }
+};
+
+/// True if segments `s` and `t` share at least one point (robust: uses the
+/// exact orientation predicate; handles collinear overlap and endpoint
+/// touching).
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+/// True if `p` lies on segment `s` (inclusive of endpoints, exact).
+bool OnSegment(const Segment& s, const Point& p);
+
+inline std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << "-" << s.b;
+}
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_SEGMENT_H_

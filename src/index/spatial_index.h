@@ -1,0 +1,77 @@
+#ifndef VAQ_INDEX_SPATIAL_INDEX_H_
+#define VAQ_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace vaq {
+
+/// Identifier of a point stored in a spatial index. Indexes in this library
+/// store lightweight (point, id) entries; the id refers back into the
+/// caller's point table (see `PointDatabase`).
+using PointId = std::uint32_t;
+
+/// Marker for "no point found".
+inline constexpr PointId kInvalidPointId = 0xFFFFFFFFu;
+
+/// Counters that approximate the IO behaviour of a disk-resident index:
+/// every visited index node counts as one page access, every reported entry
+/// as one object fetch. The paper's framing of area queries as IO-intensive
+/// makes these the fairest cost proxy alongside wall-clock time.
+struct IndexStats {
+  std::uint64_t node_accesses = 0;
+  std::uint64_t entries_reported = 0;
+
+  void Reset() { *this = IndexStats{}; }
+};
+
+/// Abstract interface shared by every point index in `src/index/`.
+///
+/// The paper's two area-query implementations consume exactly two
+/// operations from this interface: `WindowQuery` (the traditional filter)
+/// and `NearestNeighbor` (the Voronoi method's seed lookup). The other
+/// operations round out the library and power the ablation benchmarks.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Bulk-loads the index from `points`; ids are assigned as positions in
+  /// the vector. Replaces any previous content.
+  virtual void Build(const std::vector<Point>& points) = 0;
+
+  /// Number of indexed points.
+  virtual std::size_t size() const = 0;
+
+  /// Appends the ids of all points inside `window` (borders inclusive)
+  /// to `out`, in unspecified order.
+  virtual void WindowQuery(const Box& window,
+                           std::vector<PointId>* out) const = 0;
+
+  /// Returns the id of the point closest to `q` (ties broken arbitrarily),
+  /// or `kInvalidPointId` if the index is empty.
+  virtual PointId NearestNeighbor(const Point& q) const = 0;
+
+  /// Appends the ids of the `k` points closest to `q` to `out`, ordered by
+  /// increasing distance. Returns fewer if the index holds fewer points.
+  virtual void KNearestNeighbors(const Point& q, std::size_t k,
+                                 std::vector<PointId>* out) const = 0;
+
+  /// Human-readable index name for benchmark tables.
+  virtual std::string_view Name() const = 0;
+
+  /// Access statistics accumulated since the last `ResetStats()`.
+  const IndexStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  /// Mutable so const query paths can account their accesses.
+  mutable IndexStats stats_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,114 @@
+#include "workload/dataset_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace vaq {
+namespace {
+
+constexpr char kMagic[4] = {'V', 'A', 'Q', 'P'};
+
+bool ParseCsvPoint(const std::string& line, Point* p) {
+  const std::size_t comma = line.find(',');
+  if (comma == std::string::npos) return false;
+  try {
+    std::size_t used_x = 0, used_y = 0;
+    const double x = std::stod(line.substr(0, comma), &used_x);
+    const double y = std::stod(line.substr(comma + 1), &used_y);
+    *p = Point{x, y};
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool SavePointsBinary(const std::string& path,
+                      const std::vector<Point>& points) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint64_t count = points.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Point& p : points) {
+    out.write(reinterpret_cast<const char*>(&p.x), sizeof(double));
+    out.write(reinterpret_cast<const char*>(&p.y), sizeof(double));
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadPointsBinary(const std::string& path, std::vector<Point>* points) {
+  points->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return false;
+  points->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double x, y;
+    in.read(reinterpret_cast<char*>(&x), sizeof(double));
+    in.read(reinterpret_cast<char*>(&y), sizeof(double));
+    if (!in) {
+      points->clear();
+      return false;
+    }
+    points->push_back({x, y});
+  }
+  return true;
+}
+
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# x,y — vaq point dataset, " << points.size() << " points\n";
+  out.precision(17);
+  for (const Point& p : points) {
+    out << p.x << "," << p.y << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* points) {
+  points->clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Point p;
+    if (!ParseCsvPoint(line, &p)) {
+      points->clear();
+      return false;
+    }
+    points->push_back(p);
+  }
+  return true;
+}
+
+bool SavePolygonCsv(const std::string& path, const Polygon& polygon) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# x,y — vaq polygon ring, " << polygon.size() << " vertices\n";
+  out.precision(17);
+  for (const Point& v : polygon.vertices()) {
+    out << v.x << "," << v.y << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadPolygonCsv(const std::string& path, Polygon* polygon) {
+  std::vector<Point> ring;
+  if (!LoadPointsCsv(path, &ring)) return false;
+  if (ring.size() < 3) return false;
+  *polygon = Polygon(std::move(ring));
+  return true;
+}
+
+}  // namespace vaq

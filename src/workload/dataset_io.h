@@ -1,0 +1,36 @@
+#ifndef VAQ_WORKLOAD_DATASET_IO_H_
+#define VAQ_WORKLOAD_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace vaq {
+
+/// Flat-file persistence for experiment datasets and query polygons, so
+/// that runs are reproducible across machines and external datasets (e.g.
+/// public POI extracts converted to x/y pairs) can be loaded.
+///
+/// Formats:
+///  * binary points: little-endian "VAQP" magic, uint64 count, then
+///    count * 2 doubles — compact and exact;
+///  * CSV points: one "x,y" pair per line ('#' comments allowed) — easy
+///    interchange with external tools;
+///  * CSV polygon: one "x,y" vertex per line in ring order.
+/// All loaders return false on malformed input and leave outputs empty.
+
+bool SavePointsBinary(const std::string& path,
+                      const std::vector<Point>& points);
+bool LoadPointsBinary(const std::string& path, std::vector<Point>* points);
+
+bool SavePointsCsv(const std::string& path, const std::vector<Point>& points);
+bool LoadPointsCsv(const std::string& path, std::vector<Point>* points);
+
+bool SavePolygonCsv(const std::string& path, const Polygon& polygon);
+bool LoadPolygonCsv(const std::string& path, Polygon* polygon);
+
+}  // namespace vaq
+
+#endif  // VAQ_WORKLOAD_DATASET_IO_H_

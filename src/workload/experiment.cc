@@ -1,0 +1,158 @@
+#include "workload/experiment.h"
+
+#include <chrono>
+#include <iomanip>
+#include <ostream>
+
+#include "core/brute_force_area_query.h"
+#include "core/traditional_area_query.h"
+#include "core/voronoi_area_query.h"
+#include "delaunay/triangulation.h"
+#include "index/rtree.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnitDomain{{0.0, 0.0}, {1.0, 1.0}};
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void Accumulate(MethodAverages* avg, const QueryStats& stats) {
+  avg->candidates += static_cast<double>(stats.candidates);
+  avg->redundant += static_cast<double>(stats.RedundantValidations());
+  avg->time_ms += stats.elapsed_ms;
+  avg->node_accesses += static_cast<double>(stats.index_node_accesses);
+  avg->geometry_loads += static_cast<double>(stats.geometry_loads);
+}
+
+void Finish(MethodAverages* avg, int reps) {
+  avg->candidates /= reps;
+  avg->redundant /= reps;
+  avg->time_ms /= reps;
+  avg->node_accesses /= reps;
+  avg->geometry_loads /= reps;
+}
+
+}  // namespace
+
+ExperimentRow RunExperimentOnDatabase(PointDatabase& db,
+                                      const ExperimentConfig& config) {
+  ExperimentRow row;
+  row.config = config;
+  db.set_simulated_fetch_ns(config.simulated_fetch_ns);
+
+  const TraditionalAreaQuery traditional(&db);
+  const VoronoiAreaQuery voronoi(&db);
+  const BruteForceAreaQuery brute(&db);
+
+  // Query polygons come from a stream seeded independently of the data so
+  // the same queries hit different data sizes comparably.
+  Rng query_rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  PolygonSpec spec;
+  spec.vertices = config.polygon_vertices;
+  spec.query_size_fraction = config.query_size_fraction;
+
+  QueryStats stats;
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    const Polygon area = GenerateQueryPolygon(spec, kUnitDomain, &query_rng);
+
+    const std::vector<PointId> trad_result = traditional.Run(area, &stats);
+    Accumulate(&row.traditional, stats);
+
+    const std::vector<PointId> vaq_result = voronoi.Run(area, &stats);
+    Accumulate(&row.voronoi, stats);
+
+    row.result_size += static_cast<double>(trad_result.size());
+    if (config.verify) {
+      const std::vector<PointId> truth = brute.Run(area, nullptr);
+      if (trad_result != truth || vaq_result != truth) ++row.mismatches;
+    } else if (trad_result != vaq_result) {
+      ++row.mismatches;
+    }
+  }
+  Finish(&row.traditional, config.repetitions);
+  Finish(&row.voronoi, config.repetitions);
+  row.result_size /= config.repetitions;
+  return row;
+}
+
+ExperimentRow RunExperiment(const ExperimentConfig& config) {
+  Rng data_rng(config.seed);
+  std::vector<Point> points = GeneratePoints(config.data_size, kUnitDomain,
+                                             config.distribution, &data_rng);
+
+  // Time the two builds separately (the paper treats them as offline).
+  const auto t_rtree = std::chrono::steady_clock::now();
+  RTree throwaway_rtree;
+  throwaway_rtree.Build(points);
+  const double rtree_ms = MillisSince(t_rtree);
+
+  const auto t_delaunay = std::chrono::steady_clock::now();
+  PointDatabase db(std::move(points));
+  const double delaunay_ms = MillisSince(t_delaunay);
+
+  ExperimentRow row = RunExperimentOnDatabase(db, config);
+  row.build_rtree_ms = rtree_ms;
+  row.build_delaunay_ms = delaunay_ms;
+  return row;
+}
+
+void PrintPaperTable(const std::vector<ExperimentRow>& rows,
+                     bool vary_query_size, std::ostream& os) {
+  os << (vary_query_size ? "Query size" : "Data size")
+     << "  Result size  |  Traditional: candidates  time(ms)  |  "
+        "Voronoi: candidates  time(ms)  |  saved: cand  time\n";
+  for (const ExperimentRow& r : rows) {
+    os << std::fixed;
+    if (vary_query_size) {
+      os << std::setw(9) << std::setprecision(0)
+         << r.config.query_size_fraction * 100.0 << "%";
+    } else {
+      os << std::setw(10) << r.config.data_size;
+    }
+    os << std::setw(13) << std::setprecision(2) << r.result_size << "  |"
+       << std::setw(25) << std::setprecision(2) << r.traditional.candidates
+       << std::setw(10) << std::setprecision(3) << r.traditional.time_ms
+       << "  |" << std::setw(21) << std::setprecision(2)
+       << r.voronoi.candidates << std::setw(10) << std::setprecision(3)
+       << r.voronoi.time_ms << "  |" << std::setw(10) << std::setprecision(1)
+       << r.CandidatesSavedFraction() * 100.0 << "%" << std::setw(6)
+       << std::setprecision(1) << r.TimeSavedFraction() * 100.0 << "%\n";
+  }
+}
+
+void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
+                       bool vary_query_size, std::ostream& os) {
+  os << "# Figure series: time cost (ms)\n";
+  os << (vary_query_size ? "# query_size_pct" : "# data_size")
+     << "  traditional_ms  voronoi_ms\n";
+  for (const ExperimentRow& r : rows) {
+    os << std::fixed << std::setprecision(4);
+    if (vary_query_size) {
+      os << r.config.query_size_fraction * 100.0;
+    } else {
+      os << r.config.data_size;
+    }
+    os << "  " << r.traditional.time_ms << "  " << r.voronoi.time_ms << "\n";
+  }
+  os << "# Figure series: redundant validations\n";
+  os << (vary_query_size ? "# query_size_pct" : "# data_size")
+     << "  traditional_redundant  voronoi_redundant\n";
+  for (const ExperimentRow& r : rows) {
+    os << std::fixed << std::setprecision(4);
+    if (vary_query_size) {
+      os << r.config.query_size_fraction * 100.0;
+    } else {
+      os << r.config.data_size;
+    }
+    os << "  " << r.traditional.redundant << "  " << r.voronoi.redundant
+       << "\n";
+  }
+}
+
+}  // namespace vaq

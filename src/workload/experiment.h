@@ -1,0 +1,82 @@
+#ifndef VAQ_WORKLOAD_EXPERIMENT_H_
+#define VAQ_WORKLOAD_EXPERIMENT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/point_database.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+
+namespace vaq {
+
+/// One experiment cell of the paper's evaluation: a database of
+/// `data_size` points and `repetitions` random query polygons of a given
+/// query size, timed for both methods.
+struct ExperimentConfig {
+  std::size_t data_size = 100000;
+  double query_size_fraction = 0.01;
+  int repetitions = 200;
+  std::uint64_t seed = 42;
+  int polygon_vertices = 10;
+  PointDistribution distribution = PointDistribution::kUniform;
+  /// Also run the brute-force scan and verify both methods return exactly
+  /// its result set (counted in `ExperimentRow::mismatches`).
+  bool verify = false;
+  /// Simulated per-candidate object-fetch latency (see
+  /// `PointDatabase::set_simulated_fetch_ns`). 0 = raw in-memory timing.
+  double simulated_fetch_ns = 0.0;
+};
+
+/// Per-method averages over the repetitions.
+struct MethodAverages {
+  double candidates = 0.0;
+  double redundant = 0.0;
+  double time_ms = 0.0;
+  double node_accesses = 0.0;
+  double geometry_loads = 0.0;
+};
+
+/// One row of Table I / Table II.
+struct ExperimentRow {
+  ExperimentConfig config;
+  double result_size = 0.0;
+  MethodAverages traditional;
+  MethodAverages voronoi;
+  int mismatches = 0;          // Only populated when config.verify.
+  double build_rtree_ms = 0.0;
+  double build_delaunay_ms = 0.0;
+
+  /// Relative savings of the Voronoi method, as the paper reports them.
+  double TimeSavedFraction() const {
+    return 1.0 - voronoi.time_ms / traditional.time_ms;
+  }
+  double CandidatesSavedFraction() const {
+    return 1.0 - voronoi.candidates / traditional.candidates;
+  }
+};
+
+/// Runs one experiment cell on an already-built database (non-const: the
+/// runner applies `config.simulated_fetch_ns` to the database).
+ExperimentRow RunExperimentOnDatabase(PointDatabase& db,
+                                      const ExperimentConfig& config);
+
+/// Generates the database from `config` (seeded), builds the structures and
+/// runs the cell. Build times are reported in the row.
+ExperimentRow RunExperiment(const ExperimentConfig& config);
+
+/// Pretty-prints rows in the layout of the paper's Table I (first column =
+/// data size) or Table II (first column = query size), selected by
+/// `vary_query_size`.
+void PrintPaperTable(const std::vector<ExperimentRow>& rows,
+                     bool vary_query_size, std::ostream& os);
+
+/// Prints the series behind the paper's figures (Fig. 4/6: time; Fig. 5/7:
+/// redundant validations) as aligned columns.
+void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
+                       bool vary_query_size, std::ostream& os);
+
+}  // namespace vaq
+
+#endif  // VAQ_WORKLOAD_EXPERIMENT_H_

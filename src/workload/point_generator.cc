@@ -1,0 +1,111 @@
+#include "workload/point_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace vaq {
+namespace {
+
+/// Deduplicates in place by resampling collisions with `resample()`.
+template <typename ResampleFn>
+void EnforceDistinct(std::vector<Point>* points, ResampleFn resample) {
+  std::unordered_set<Point, PointHash> seen;
+  seen.reserve(points->size() * 2);
+  for (Point& p : *points) {
+    while (!seen.insert(p).second) p = resample();
+  }
+}
+
+}  // namespace
+
+std::vector<Point> GenerateUniformPoints(std::size_t n, const Box& domain,
+                                         Rng* rng) {
+  std::vector<Point> points;
+  points.reserve(n);
+  auto sample = [&] {
+    return Point{rng->Uniform(domain.min.x, domain.max.x),
+                 rng->Uniform(domain.min.y, domain.max.y)};
+  };
+  for (std::size_t i = 0; i < n; ++i) points.push_back(sample());
+  EnforceDistinct(&points, sample);
+  return points;
+}
+
+std::vector<Point> GenerateClusteredPoints(std::size_t n, const Box& domain,
+                                           int clusters, double sigma_fraction,
+                                           Rng* rng) {
+  assert(clusters >= 1);
+  std::vector<Point> centres;
+  centres.reserve(static_cast<std::size_t>(clusters));
+  for (int c = 0; c < clusters; ++c) {
+    centres.push_back({rng->Uniform(domain.min.x, domain.max.x),
+                       rng->Uniform(domain.min.y, domain.max.y)});
+  }
+  const double diag = std::hypot(domain.Width(), domain.Height());
+  const double sigma = sigma_fraction * diag;
+
+  std::vector<Point> points;
+  points.reserve(n);
+  auto sample = [&] {
+    while (true) {
+      const Point& c =
+          centres[static_cast<std::size_t>(rng->UniformInt(0, clusters - 1))];
+      const Point p{rng->Gaussian(c.x, sigma), rng->Gaussian(c.y, sigma)};
+      if (domain.Contains(p)) return p;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) points.push_back(sample());
+  EnforceDistinct(&points, sample);
+  return points;
+}
+
+std::vector<Point> GenerateGridPoints(std::size_t n, const Box& domain,
+                                      double jitter, Rng* rng) {
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const double cw = domain.Width() / static_cast<double>(side);
+  const double ch = domain.Height() / static_cast<double>(side);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (std::size_t gy = 0; gy < side && points.size() < n; ++gy) {
+    for (std::size_t gx = 0; gx < side && points.size() < n; ++gx) {
+      const double jx = jitter != 0.0 ? rng->Uniform(-jitter, jitter) : 0.0;
+      const double jy = jitter != 0.0 ? rng->Uniform(-jitter, jitter) : 0.0;
+      points.push_back({domain.min.x + (gx + 0.5 + jx) * cw,
+                        domain.min.y + (gy + 0.5 + jy) * ch});
+    }
+  }
+  auto resample = [&] {
+    return Point{rng->Uniform(domain.min.x, domain.max.x),
+                 rng->Uniform(domain.min.y, domain.max.y)};
+  };
+  EnforceDistinct(&points, resample);
+  return points;
+}
+
+std::vector<Point> GeneratePoints(std::size_t n, const Box& domain,
+                                  PointDistribution distribution, Rng* rng) {
+  switch (distribution) {
+    case PointDistribution::kUniform:
+      return GenerateUniformPoints(n, domain, rng);
+    case PointDistribution::kClustered:
+      return GenerateClusteredPoints(n, domain, /*clusters=*/16,
+                                     /*sigma_fraction=*/0.05, rng);
+    case PointDistribution::kGrid:
+      return GenerateGridPoints(n, domain, /*jitter=*/0.25, rng);
+  }
+  return {};
+}
+
+const char* PointDistributionName(PointDistribution d) {
+  switch (d) {
+    case PointDistribution::kUniform: return "uniform";
+    case PointDistribution::kClustered: return "clustered";
+    case PointDistribution::kGrid: return "grid";
+  }
+  return "?";
+}
+
+}  // namespace vaq

@@ -1,0 +1,49 @@
+#ifndef VAQ_WORKLOAD_POINT_GENERATOR_H_
+#define VAQ_WORKLOAD_POINT_GENERATOR_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "workload/rng.h"
+
+namespace vaq {
+
+/// Point-set distributions for experiment databases. The paper's
+/// experiments use uniform random points; the clustered and grid variants
+/// power the distribution ablation.
+enum class PointDistribution {
+  kUniform,    // i.i.d. uniform over the domain (the paper's setting).
+  kClustered,  // Gaussian mixture: realistic city-like point densities.
+  kGrid,       // Jittered grid: near-degenerate, stresses the predicates.
+};
+
+/// Generates `n` pairwise-distinct points inside `domain` following
+/// `distribution`. Distinctness is enforced by regeneration (duplicates
+/// are astronomically rare for doubles but the Delaunay substrate requires
+/// them gone).
+std::vector<Point> GeneratePoints(std::size_t n, const Box& domain,
+                                  PointDistribution distribution, Rng* rng);
+
+/// Uniform points, the paper's workload.
+std::vector<Point> GenerateUniformPoints(std::size_t n, const Box& domain,
+                                         Rng* rng);
+
+/// Gaussian-mixture points: `clusters` centres, each point sampled around a
+/// random centre with standard deviation `sigma_fraction` of the domain
+/// diagonal (rejected and resampled until inside the domain).
+std::vector<Point> GenerateClusteredPoints(std::size_t n, const Box& domain,
+                                           int clusters, double sigma_fraction,
+                                           Rng* rng);
+
+/// Near-degenerate jittered grid: ceil(sqrt(n))^2 cells, one point per cell
+/// jittered by `jitter` of the cell size (0 = exact grid, heavy predicate
+/// degeneracy).
+std::vector<Point> GenerateGridPoints(std::size_t n, const Box& domain,
+                                      double jitter, Rng* rng);
+
+const char* PointDistributionName(PointDistribution d);
+
+}  // namespace vaq
+
+#endif  // VAQ_WORKLOAD_POINT_GENERATOR_H_

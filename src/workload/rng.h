@@ -1,0 +1,41 @@
+#ifndef VAQ_WORKLOAD_RNG_H_
+#define VAQ_WORKLOAD_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace vaq {
+
+/// Seeded random source used by every generator in the library, so that
+/// experiments and tests are reproducible bit-for-bit given a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal deviate.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Raw 64 bits.
+  std::uint64_t Next() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_WORKLOAD_RNG_H_

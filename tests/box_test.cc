@@ -1,0 +1,91 @@
+#include "geometry/box.h"
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(BoxTest, DefaultIsEmpty) {
+  const Box b;
+  EXPECT_TRUE(b.Empty());
+  EXPECT_EQ(b.Area(), 0.0);
+  EXPECT_EQ(b.Margin(), 0.0);
+}
+
+TEST(BoxTest, BasicMetrics) {
+  const Box b = Box::FromExtents(1, 2, 4, 6);
+  EXPECT_FALSE(b.Empty());
+  EXPECT_DOUBLE_EQ(b.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(b.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(b.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 7.0);
+  EXPECT_EQ(b.Center(), Point(2.5, 4.0));
+}
+
+TEST(BoxTest, ContainsPointBordersInclusive) {
+  const Box b = Box::FromExtents(0, 0, 1, 1);
+  EXPECT_TRUE(b.Contains(Point{0.5, 0.5}));
+  EXPECT_TRUE(b.Contains(Point{0, 0}));
+  EXPECT_TRUE(b.Contains(Point{1, 1}));
+  EXPECT_TRUE(b.Contains(Point{0, 1}));
+  EXPECT_FALSE(b.Contains(Point{1.0000001, 0.5}));
+  EXPECT_FALSE(b.Contains(Point{0.5, -0.0000001}));
+}
+
+TEST(BoxTest, ContainsBox) {
+  const Box outer = Box::FromExtents(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Box::FromExtents(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Box::FromExtents(1, 1, 11, 9)));
+}
+
+TEST(BoxTest, IntersectsIncludesTouching) {
+  const Box a = Box::FromExtents(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Box::FromExtents(1, 1, 2, 2)));  // Corner touch.
+  EXPECT_TRUE(a.Intersects(Box::FromExtents(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(a.Intersects(Box::FromExtents(1.01, 0, 2, 1)));
+}
+
+TEST(BoxTest, ExpandToInclude) {
+  Box b;
+  b.ExpandToInclude(Point{1, 2});
+  EXPECT_EQ(b, Box(Point{1, 2}, Point{1, 2}));
+  b.ExpandToInclude(Point{-1, 5});
+  EXPECT_EQ(b, Box::FromExtents(-1, 2, 1, 5));
+  b.ExpandToInclude(Box::FromExtents(0, 0, 3, 3));
+  EXPECT_EQ(b, Box::FromExtents(-1, 0, 3, 5));
+}
+
+TEST(BoxTest, ExpandWithEmptyBoxIsIdentity) {
+  Box b = Box::FromExtents(0, 0, 1, 1);
+  b.ExpandToInclude(Box{});
+  EXPECT_EQ(b, Box::FromExtents(0, 0, 1, 1));
+}
+
+TEST(BoxTest, UnionAndIntersection) {
+  const Box a = Box::FromExtents(0, 0, 2, 2);
+  const Box b = Box::FromExtents(1, 1, 3, 3);
+  EXPECT_EQ(Box::Union(a, b), Box::FromExtents(0, 0, 3, 3));
+  EXPECT_EQ(Box::Intersection(a, b), Box::FromExtents(1, 1, 2, 2));
+  EXPECT_TRUE(
+      Box::Intersection(a, Box::FromExtents(5, 5, 6, 6)).Empty());
+}
+
+TEST(BoxTest, SquaredDistanceToPoint) {
+  const Box b = Box::FromExtents(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(b.SquaredDistanceTo(Point{0.5, 0.5}), 0.0);  // Inside.
+  EXPECT_DOUBLE_EQ(b.SquaredDistanceTo(Point{2, 0.5}), 1.0);    // Right.
+  EXPECT_DOUBLE_EQ(b.SquaredDistanceTo(Point{2, 2}), 2.0);      // Corner.
+  EXPECT_DOUBLE_EQ(b.SquaredDistanceTo(Point{-3, 0.5}), 9.0);   // Left.
+}
+
+TEST(BoxTest, DegeneratePointBox) {
+  const Box b(Point{2, 3});
+  EXPECT_FALSE(b.Empty());
+  EXPECT_EQ(b.Area(), 0.0);
+  EXPECT_TRUE(b.Contains(Point{2, 3}));
+  EXPECT_FALSE(b.Contains(Point{2, 3.001}));
+}
+
+}  // namespace
+}  // namespace vaq

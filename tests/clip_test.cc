@@ -1,0 +1,73 @@
+#include "geometry/clip.h"
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+double RingArea(const std::vector<Point>& ring) {
+  double twice = 0.0;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    twice += ring[i].Cross(ring[(i + 1) % ring.size()]);
+  }
+  return twice * 0.5;
+}
+
+TEST(ClipTest, FullyInsideUnchanged) {
+  const std::vector<Point> ring{{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0, 0, 1, 1));
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_NEAR(RingArea(out), RingArea(ring), 1e-12);
+}
+
+TEST(ClipTest, FullyOutsideEmpty) {
+  const std::vector<Point> ring{{2, 2}, {3, 2}, {2.5, 3}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0, 0, 1, 1));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ClipTest, HalfOverlapSquare) {
+  // Unit square clipped to its right half.
+  const std::vector<Point> ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0.5, 0, 2, 1));
+  EXPECT_NEAR(RingArea(out), 0.5, 1e-12);
+}
+
+TEST(ClipTest, TriangleCornerCut) {
+  // A big triangle clipped to the unit box: the result is the box corner
+  // region under the hypotenuse.
+  const std::vector<Point> ring{{0, 0}, {2, 0}, {0, 2}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0, 0, 1, 1));
+  // Area = 1 - 0.5*(overhang): triangle x+y<=2 within unit box covers
+  // the whole box except nothing: every (x,y) in [0,1]^2 has x+y<=2.
+  EXPECT_NEAR(RingArea(out), 1.0, 1e-12);
+}
+
+TEST(ClipTest, BoxLargerThanRingIdentity) {
+  const std::vector<Point> ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(-10, -10, 10, 10));
+  EXPECT_NEAR(RingArea(out), 16.0, 1e-12);
+}
+
+TEST(ClipTest, ClipToContainedBoxYieldsBox) {
+  // Huge triangle covering the clip box entirely.
+  const std::vector<Point> ring{{-100, -100}, {100, -100}, {0, 100}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0, 0, 1, 1));
+  EXPECT_NEAR(RingArea(out), 1.0, 1e-12);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ClipTest, EmptyInput) {
+  EXPECT_TRUE(
+      ClipRingToBox({}, Box::FromExtents(0, 0, 1, 1)).empty());
+}
+
+TEST(ClipTest, PreservesCcwOrientation) {
+  const std::vector<Point> ring{{-1, -1}, {2, -1}, {2, 2}, {-1, 2}};
+  const auto out = ClipRingToBox(ring, Box::FromExtents(0, 0, 1, 1));
+  EXPECT_GT(RingArea(out), 0.0);  // Still CCW.
+  EXPECT_NEAR(RingArea(out), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,76 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "geometry/predicates.h"
+
+namespace vaq {
+namespace {
+
+TEST(ConvexHullTest, Triangle) {
+  const auto hull = ConvexHull({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoints) {
+  const auto hull =
+      ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.7}});
+  EXPECT_EQ(hull.size(), 4u);
+  // All four corners present.
+  for (const Point corner : {Point{0, 0}, Point{1, 0}, Point{1, 1}, Point{0, 1}}) {
+    EXPECT_NE(std::find(hull.begin(), hull.end(), corner), hull.end());
+  }
+}
+
+TEST(ConvexHullTest, CollinearPointsDropped) {
+  const auto hull = ConvexHull({{0, 0}, {1, 0}, {2, 0}, {2, 2}, {1, 1}});
+  // (1,0) is on edge (0,0)-(2,0); (1,1) is on edge (0,0)-(2,2).
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_TRUE(ConvexHull({}).empty());
+  EXPECT_TRUE(ConvexHull({{1, 1}}).empty());
+  EXPECT_TRUE(ConvexHull({{1, 1}, {2, 2}}).empty());
+  EXPECT_TRUE(ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}).empty());  // Line.
+  EXPECT_TRUE(ConvexHull({{1, 1}, {1, 1}, {1, 1}}).empty());  // Duplicates.
+}
+
+TEST(ConvexHullTest, OutputIsCcwAndConvex) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) points.push_back({dist(rng), dist(rng)});
+  const auto hull = ConvexHull(points);
+  ASSERT_GE(hull.size(), 3u);
+  const std::size_t h = hull.size();
+  for (std::size_t i = 0; i < h; ++i) {
+    // Strict left turns everywhere: convex, CCW, no collinear triples.
+    EXPECT_EQ(
+        Orient2DSign(hull[i], hull[(i + 1) % h], hull[(i + 2) % h]), 1);
+  }
+}
+
+TEST(ConvexHullTest, ContainsAllInputPoints) {
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) points.push_back({dist(rng), dist(rng)});
+  const Polygon hull = ConvexHullPolygon(points);
+  for (const Point& p : points) {
+    EXPECT_TRUE(hull.Contains(p));
+  }
+}
+
+TEST(ConvexHullTest, IdempotentOnHull) {
+  const std::vector<Point> square{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  const auto hull1 = ConvexHull(square);
+  const auto hull2 = ConvexHull(hull1);
+  EXPECT_EQ(hull1.size(), hull2.size());
+}
+
+}  // namespace
+}  // namespace vaq

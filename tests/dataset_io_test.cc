@@ -1,0 +1,127 @@
+#include "workload/dataset_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/point_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DatasetIoTest, BinaryRoundTripExact) {
+  Rng rng(1);
+  const auto points =
+      GenerateUniformPoints(1234, Box::FromExtents(0, 0, 1, 1), &rng);
+  const std::string path = TempPath("points.vaqp");
+  ASSERT_TRUE(SavePointsBinary(path, points));
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsBinary(path, &loaded));
+  EXPECT_EQ(loaded, points);  // Bit-exact.
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryEmptyDataset) {
+  const std::string path = TempPath("empty.vaqp");
+  ASSERT_TRUE(SavePointsBinary(path, {}));
+  std::vector<Point> loaded{{1, 2}};
+  ASSERT_TRUE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsBadMagic) {
+  const std::string path = TempPath("bad.vaqp");
+  std::ofstream(path) << "not a vaq file at all";
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsTruncated) {
+  Rng rng(2);
+  const auto points =
+      GenerateUniformPoints(100, Box::FromExtents(0, 0, 1, 1), &rng);
+  const std::string path = TempPath("trunc.vaqp");
+  ASSERT_TRUE(SavePointsBinary(path, points));
+  // Truncate the file.
+  std::ofstream out(path, std::ios::binary | std::ios::in);
+  out.seekp(100);
+  out.close();
+  std::ifstream check(path, std::ios::binary | std::ios::ate);
+  // (seekp alone does not truncate; rewrite a short prefix instead.)
+  std::ofstream shorter(path, std::ios::binary | std::ios::trunc);
+  shorter.write("VAQP", 4);
+  const std::uint64_t claimed = 100;
+  shorter.write(reinterpret_cast<const char*>(&claimed), sizeof(claimed));
+  shorter << "only a few bytes";
+  shorter.close();
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileFails) {
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsBinary(TempPath("does_not_exist.vaqp"), &loaded));
+  EXPECT_FALSE(LoadPointsCsv(TempPath("does_not_exist.csv"), &loaded));
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  Rng rng(3);
+  const auto points =
+      GenerateUniformPoints(321, Box::FromExtents(-5, -5, 5, 5), &rng);
+  const std::string path = TempPath("points.csv");
+  ASSERT_TRUE(SavePointsCsv(path, points));
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsCsv(path, &loaded));
+  ASSERT_EQ(loaded.size(), points.size());
+  // 17 significant digits round-trip doubles exactly.
+  EXPECT_EQ(loaded, points);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvSkipsCommentsAndRejectsGarbage) {
+  const std::string path = TempPath("mixed.csv");
+  std::ofstream(path) << "# header\n1.5,2.5\n# middle comment\n3.0,4.0\n";
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsCsv(path, &loaded));
+  EXPECT_EQ(loaded,
+            (std::vector<Point>{{1.5, 2.5}, {3.0, 4.0}}));
+
+  std::ofstream(path) << "1.5,2.5\nnot,a point,\n";
+  EXPECT_FALSE(LoadPointsCsv(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, PolygonRoundTrip) {
+  const Polygon poly({{0, 0}, {2, 0}, {2, 1}, {0.5, 0.5}});
+  const std::string path = TempPath("poly.csv");
+  ASSERT_TRUE(SavePolygonCsv(path, poly));
+  Polygon loaded;
+  ASSERT_TRUE(LoadPolygonCsv(path, &loaded));
+  EXPECT_EQ(loaded.vertices(), poly.vertices());
+  EXPECT_DOUBLE_EQ(loaded.Area(), poly.Area());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, PolygonNeedsThreeVertices) {
+  const std::string path = TempPath("degenerate.csv");
+  std::ofstream(path) << "0,0\n1,1\n";
+  Polygon loaded;
+  EXPECT_FALSE(LoadPolygonCsv(path, &loaded));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,132 @@
+#include "geometry/exact_arithmetic.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(TwoSumTest, ExactForRepresentableSums) {
+  double x, err;
+  TwoSum(1.0, 2.0, &x, &err);
+  EXPECT_EQ(x, 3.0);
+  EXPECT_EQ(err, 0.0);
+}
+
+TEST(TwoSumTest, CapturesRoundoff) {
+  double x, err;
+  TwoSum(1.0, 1e-20, &x, &err);
+  EXPECT_EQ(x, 1.0);        // Rounded.
+  EXPECT_EQ(err, 1e-20);    // Roundoff captured exactly.
+}
+
+TEST(TwoDiffTest, CapturesRoundoff) {
+  double x, err;
+  TwoDiff(1.0, 1e-20, &x, &err);
+  EXPECT_EQ(x, 1.0);
+  EXPECT_EQ(err, -1e-20);
+}
+
+TEST(TwoProductTest, ExactSplit) {
+  double x, err;
+  const double a = 1.0 + std::pow(2.0, -30);
+  const double b = 1.0 + std::pow(2.0, -30);
+  TwoProduct(a, b, &x, &err);
+  // a*b = 1 + 2^-29 + 2^-60; the 2^-60 term is the roundoff.
+  EXPECT_EQ(x, 1.0 + std::pow(2.0, -29));
+  EXPECT_EQ(err, std::pow(2.0, -60));
+}
+
+TEST(ExpansionTest, SingleValue) {
+  const Expansion<8> e(3.5);
+  EXPECT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.Estimate(), 3.5);
+  EXPECT_EQ(e.Sign(), 1);
+}
+
+TEST(ExpansionTest, SignOfNegativeAndZero) {
+  EXPECT_EQ(Expansion<8>(-2.0).Sign(), -1);
+  EXPECT_EQ(Expansion<8>(0.0).Sign(), 0);
+  EXPECT_EQ(Expansion<8>().Sign(), 0);
+}
+
+TEST(ExpansionTest, AddCancelsExactly) {
+  const Expansion<16> a(1.0);
+  const Expansion<16> b(-1.0);
+  EXPECT_EQ(a.Add(b).Sign(), 0);
+}
+
+TEST(ExpansionTest, AddKeepsTinyResidue) {
+  // (1 + eps_small) - 1 must be exactly eps_small, which plain doubles
+  // cannot represent through the intermediate sum.
+  const double tiny = 1e-30;
+  const Expansion<16> one(1.0);
+  const Expansion<16> sum = one.Add(Expansion<16>(tiny));
+  const Expansion<16> diff = sum.Subtract(one);
+  EXPECT_EQ(diff.Estimate(), tiny);
+  EXPECT_EQ(diff.Sign(), 1);
+}
+
+TEST(ExpansionTest, ScaleIsExact) {
+  const double tiny = 1e-30;
+  const Expansion<32> e = Expansion<32>(1.0).Add(Expansion<32>(tiny));
+  const Expansion<32> scaled = e.Scale(3.0);
+  const Expansion<32> back = scaled.Subtract(Expansion<32>(3.0));
+  EXPECT_EQ(back.Estimate(), 3.0 * tiny);
+}
+
+TEST(ExpansionTest, MultiplyMatchesKnownProduct) {
+  const Expansion<64> a = ExactDiff<64>(1.0 + std::pow(2.0, -40), 1.0);
+  // a == 2^-40 exactly.
+  const Expansion<64> sq = a.Multiply(a);
+  EXPECT_EQ(sq.Estimate(), std::pow(2.0, -80));
+  EXPECT_EQ(sq.Sign(), 1);
+}
+
+TEST(ExpansionTest, ExactDiffCatchesCancellation) {
+  const double a = 1e16;
+  const double b = 1e16 - 2.0;  // Representable.
+  const Expansion<8> d = ExactDiff<8>(a, b);
+  EXPECT_EQ(d.Estimate(), 2.0);
+}
+
+TEST(ExpansionTest, RandomizedSumMatchesLongDouble) {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = dist(rng);
+    const double b = dist(rng) * 1e-17;
+    const double c = dist(rng) * 1e-9;
+    const Expansion<64> sum =
+        Expansion<64>(a).Add(Expansion<64>(b)).Add(Expansion<64>(c));
+    const long double expect = static_cast<long double>(a) +
+                               static_cast<long double>(b) +
+                               static_cast<long double>(c);
+    EXPECT_NEAR(static_cast<double>(sum.Estimate()),
+                static_cast<double>(expect), 1e-18);
+    if (expect > 0) {
+      EXPECT_EQ(sum.Sign(), 1);
+    }
+    if (expect < 0) {
+      EXPECT_EQ(sum.Sign(), -1);
+    }
+  }
+}
+
+TEST(ExpansionTest, NegateFlipsSign) {
+  const Expansion<16> e =
+      Expansion<16>(2.0).Add(Expansion<16>(1e-25));
+  EXPECT_EQ(e.Sign(), 1);
+  EXPECT_EQ(e.Negate().Sign(), -1);
+  EXPECT_EQ(e.Add(e.Negate()).Sign(), 0);
+}
+
+TEST(ExpansionTest, ScaleByZeroIsZero) {
+  const Expansion<16> e(5.0);
+  EXPECT_EQ(e.Scale(0.0).Sign(), 0);
+}
+
+}  // namespace
+}  // namespace vaq

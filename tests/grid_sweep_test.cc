@@ -1,0 +1,168 @@
+// Tests of Polygon::ContainsBox / IntersectsBox and the grid-sweep area
+// query built on them.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_area_query.h"
+#include "core/grid_sweep_area_query.h"
+#include "core/point_database.h"
+#include "core/traditional_area_query.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+Polygon LShape() {
+  return Polygon({{0, 0}, {1, 0}, {1, 0.5}, {0.5, 0.5}, {0.5, 1}, {0, 1}});
+}
+
+TEST(PolygonBoxTest, ContainsBoxBasics) {
+  const Polygon l = LShape();
+  EXPECT_TRUE(l.ContainsBox(Box::FromExtents(0.1, 0.1, 0.4, 0.4)));
+  EXPECT_TRUE(l.ContainsBox(Box::FromExtents(0.6, 0.1, 0.9, 0.4)));
+  // Box spanning the notch: corners inside, middle outside.
+  EXPECT_FALSE(l.ContainsBox(Box::FromExtents(0.1, 0.1, 0.9, 0.9)));
+  // Box inside the notch.
+  EXPECT_FALSE(l.ContainsBox(Box::FromExtents(0.6, 0.6, 0.9, 0.9)));
+  // Box sticking out of the polygon's MBR.
+  EXPECT_FALSE(l.ContainsBox(Box::FromExtents(0.4, 0.4, 1.2, 0.45)));
+}
+
+TEST(PolygonBoxTest, ContainsBoxIsConservativeOnBoundaryTouch) {
+  const Polygon square = Polygon::FromBox(Box::FromExtents(0, 0, 1, 1));
+  // Boxes touching the polygon boundary may conservatively report "not
+  // contained" (the grid-sweep then validates the cell per point, which is
+  // always safe). Strictly interior boxes must report contained.
+  EXPECT_TRUE(square.ContainsBox(Box::FromExtents(0.01, 0.01, 0.99, 0.99)));
+  // Whatever the answer for touching boxes, it must never contradict
+  // point containment of the corners.
+  if (square.ContainsBox(Box::FromExtents(0.5, 0.5, 1.0, 1.0))) {
+    EXPECT_TRUE(square.Contains({1.0, 1.0}));
+  }
+}
+
+TEST(PolygonBoxTest, IntersectsBoxBasics) {
+  const Polygon l = LShape();
+  EXPECT_TRUE(l.IntersectsBox(Box::FromExtents(0.1, 0.1, 0.2, 0.2)));
+  // Notch box: inside the MBR, outside the polygon.
+  EXPECT_FALSE(l.IntersectsBox(Box::FromExtents(0.6, 0.6, 0.9, 0.9)));
+  // Far away.
+  EXPECT_FALSE(l.IntersectsBox(Box::FromExtents(2, 2, 3, 3)));
+  // Straddling an edge.
+  EXPECT_TRUE(l.IntersectsBox(Box::FromExtents(0.4, 0.4, 0.6, 0.6)));
+  // Polygon entirely inside the box.
+  EXPECT_TRUE(l.IntersectsBox(Box::FromExtents(-1, -1, 2, 2)));
+}
+
+TEST(PolygonBoxTest, RandomizedAgainstSampling) {
+  // Cross-check IntersectsBox/ContainsBox against dense point sampling.
+  Rng rng(404);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.2;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+    const double x0 = rng.Uniform(0.0, 0.9);
+    const double y0 = rng.Uniform(0.0, 0.9);
+    const Box box = Box::FromExtents(x0, y0, x0 + rng.Uniform(0.01, 0.1),
+                                     y0 + rng.Uniform(0.01, 0.1));
+    int inside_samples = 0;
+    const int kSamples = 15;
+    for (int sx = 0; sx <= kSamples; ++sx) {
+      for (int sy = 0; sy <= kSamples; ++sy) {
+        const Point p{box.min.x + box.Width() * sx / kSamples,
+                      box.min.y + box.Height() * sy / kSamples};
+        if (poly.Contains(p)) ++inside_samples;
+      }
+    }
+    const int total = (kSamples + 1) * (kSamples + 1);
+    if (poly.ContainsBox(box)) {
+      EXPECT_EQ(inside_samples, total) << "trial " << trial;
+    }
+    if (!poly.IntersectsBox(box)) {
+      EXPECT_EQ(inside_samples, 0) << "trial " << trial;
+    }
+    if (inside_samples == total) {
+      // Fully sampled-inside boxes must at least intersect.
+      EXPECT_TRUE(poly.IntersectsBox(box)) << "trial " << trial;
+    }
+  }
+}
+
+class GridSweepQueryTest : public ::testing::Test {
+ protected:
+  GridSweepQueryTest() {
+    Rng rng(808);
+    db_ = std::make_unique<PointDatabase>(
+        GenerateUniformPoints(5000, kUnit, &rng));
+  }
+  std::unique_ptr<PointDatabase> db_;
+};
+
+TEST_F(GridSweepQueryTest, MatchesBruteForceOnPaperWorkload) {
+  const GridSweepAreaQuery sweep(db_.get());
+  const BruteForceAreaQuery brute(db_.get());
+  Rng qrng(809);
+  for (const double qs : {0.01, 0.08, 0.32}) {
+    PolygonSpec spec;
+    spec.query_size_fraction = qs;
+    for (int rep = 0; rep < 15; ++rep) {
+      const Polygon area = GenerateQueryPolygon(spec, kUnit, &qrng);
+      EXPECT_EQ(sweep.Run(area, nullptr), brute.Run(area, nullptr))
+          << "qs " << qs << " rep " << rep;
+    }
+  }
+}
+
+TEST_F(GridSweepQueryTest, ValidatesOnlyBoundaryCells) {
+  const GridSweepAreaQuery sweep(db_.get());
+  const TraditionalAreaQuery trad(db_.get());
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.25;  // Big area: many interior cells.
+  Rng qrng(810);
+  const Polygon area = GenerateQueryPolygon(spec, kUnit, &qrng);
+  QueryStats ss, ts;
+  const auto sr = sweep.Run(area, &ss);
+  const auto tr = trad.Run(area, &ts);
+  EXPECT_EQ(sr, tr);
+  // Grid-sweep validated far fewer points than it returned: interior
+  // cells were accepted wholesale.
+  EXPECT_LT(ss.candidates, ss.results);
+  // But every returned record was fetched.
+  EXPECT_GE(ss.geometry_loads, ss.results);
+  // Redundancy well below the window filter's.
+  EXPECT_LT(ss.RedundantValidations(), ts.RedundantValidations());
+}
+
+TEST_F(GridSweepQueryTest, EmptyAndWholeDomain) {
+  const GridSweepAreaQuery sweep(db_.get());
+  const Polygon tiny({{2.0, 2.0}, {2.1, 2.0}, {2.05, 2.1}});  // Off-domain.
+  EXPECT_TRUE(sweep.Run(tiny, nullptr).empty());
+  const Polygon all = Polygon::FromBox(Box::FromExtents(-1, -1, 2, 2));
+  EXPECT_EQ(sweep.Run(all, nullptr).size(), db_->size());
+}
+
+TEST_F(GridSweepQueryTest, ConcaveNotchExcluded) {
+  const Polygon l = LShape();
+  const GridSweepAreaQuery sweep(db_.get());
+  const auto result = sweep.Run(l, nullptr);
+  for (const PointId id : result) {
+    EXPECT_TRUE(l.Contains(db_->points()[id]));
+  }
+  EXPECT_EQ(result, BruteForceAreaQuery(db_.get()).Run(l, nullptr));
+}
+
+TEST(GridSweepSmallTest, HandfulOfPoints) {
+  PointDatabase db(std::vector<Point>{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}});
+  const GridSweepAreaQuery sweep(&db);
+  const Polygon area = Polygon::FromBox(Box::FromExtents(0.4, 0.4, 0.6, 0.6));
+  const auto result = sweep.Run(area, nullptr);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1u);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,163 @@
+// Parameterised property suite run against every SpatialIndex
+// implementation: window queries and (k-)NN must agree with brute force on
+// several distributions and sizes, and statistics must be monotone.
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "index/grid_index.h"
+#include "index/kdtree.h"
+#include "index/quadtree.h"
+#include "index/rtree.h"
+#include "index/spatial_index.h"
+#include "workload/point_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+enum class IndexKind { kRTree, kKDTree, kQuadtree, kGrid };
+
+std::unique_ptr<SpatialIndex> MakeIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kRTree: return std::make_unique<RTree>();
+    case IndexKind::kKDTree: return std::make_unique<KDTree>();
+    case IndexKind::kQuadtree: return std::make_unique<Quadtree>();
+    case IndexKind::kGrid: return std::make_unique<GridIndex>();
+  }
+  return nullptr;
+}
+
+using Param = std::tuple<IndexKind, PointDistribution, std::size_t>;
+
+class IndexPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto [kind, distribution, n] = GetParam();
+    Rng rng(1234 + n);
+    points_ = GeneratePoints(n, Box::FromExtents(0, 0, 1, 1), distribution,
+                             &rng);
+    index_ = MakeIndex(kind);
+    index_->Build(points_);
+  }
+
+  std::vector<Point> points_;
+  std::unique_ptr<SpatialIndex> index_;
+};
+
+TEST_P(IndexPropertyTest, SizeMatches) {
+  EXPECT_EQ(index_->size(), points_.size());
+}
+
+TEST_P(IndexPropertyTest, WindowQueryMatchesBruteForce) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int q = 0; q < 25; ++q) {
+    const double x0 = dist(rng), y0 = dist(rng);
+    const Box window = Box::FromExtents(x0, y0, x0 + dist(rng) * 0.4,
+                                        y0 + dist(rng) * 0.4);
+    std::vector<PointId> got;
+    index_->WindowQuery(window, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<PointId> expect;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (window.Contains(points_[i])) {
+        expect.push_back(static_cast<PointId>(i));
+      }
+    }
+    ASSERT_EQ(got, expect) << index_->Name() << " window " << window;
+  }
+}
+
+TEST_P(IndexPropertyTest, WholeDomainWindowReturnsEverything) {
+  std::vector<PointId> got;
+  index_->WindowQuery(Box::FromExtents(-1, -1, 2, 2), &got);
+  EXPECT_EQ(got.size(), points_.size());
+}
+
+TEST_P(IndexPropertyTest, EmptyWindowReturnsNothing) {
+  std::vector<PointId> got;
+  index_->WindowQuery(Box::FromExtents(2, 2, 3, 3), &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_P(IndexPropertyTest, NearestNeighborMatchesBruteForce) {
+  std::mt19937_64 rng(43);
+  std::uniform_real_distribution<double> dist(-0.3, 1.3);
+  for (int q = 0; q < 50; ++q) {
+    const Point query{dist(rng), dist(rng)};
+    const PointId got = index_->NearestNeighbor(query);
+    ASSERT_NE(got, kInvalidPointId);
+    double best = 1e300;
+    for (const Point& p : points_) {
+      best = std::min(best, SquaredDistance(p, query));
+    }
+    // Compare distances (ids may tie).
+    EXPECT_DOUBLE_EQ(SquaredDistance(points_[got], query), best)
+        << index_->Name();
+  }
+}
+
+TEST_P(IndexPropertyTest, KnnSortedAndConsistentWithBruteForce) {
+  const Point query{0.31, 0.77};
+  const std::size_t k = std::min<std::size_t>(20, points_.size());
+  std::vector<PointId> got;
+  index_->KNearestNeighbors(query, k, &got);
+  ASSERT_EQ(got.size(), k);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(SquaredDistance(points_[got[i - 1]], query),
+              SquaredDistance(points_[got[i]], query));
+  }
+  // The k-th distance must equal the brute-force k-th distance.
+  std::vector<double> dists;
+  dists.reserve(points_.size());
+  for (const Point& p : points_) dists.push_back(SquaredDistance(p, query));
+  std::sort(dists.begin(), dists.end());
+  EXPECT_DOUBLE_EQ(SquaredDistance(points_[got.back()], query), dists[k - 1]);
+}
+
+TEST_P(IndexPropertyTest, StatsAccumulateAndReset) {
+  index_->ResetStats();
+  std::vector<PointId> got;
+  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got);
+  const std::uint64_t after_one = index_->stats().node_accesses;
+  EXPECT_GT(after_one, 0u);
+  got.clear();
+  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got);
+  EXPECT_GT(index_->stats().node_accesses, after_one);
+  index_->ResetStats();
+  EXPECT_EQ(index_->stats().node_accesses, 0u);
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [kind, distribution, n] = info.param;
+  std::string name;
+  switch (kind) {
+    case IndexKind::kRTree: name = "rtree"; break;
+    case IndexKind::kKDTree: name = "kdtree"; break;
+    case IndexKind::kQuadtree: name = "quadtree"; break;
+    case IndexKind::kGrid: name = "grid"; break;
+  }
+  name += std::string("_") + PointDistributionName(distribution);
+  name += "_n" + std::to_string(n);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(IndexKind::kRTree, IndexKind::kKDTree,
+                          IndexKind::kQuadtree, IndexKind::kGrid),
+        ::testing::Values(PointDistribution::kUniform,
+                          PointDistribution::kClustered,
+                          PointDistribution::kGrid),
+        ::testing::Values<std::size_t>(1, 17, 500, 4000)),
+    ParamName);
+
+}  // namespace
+}  // namespace vaq

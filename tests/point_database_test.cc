@@ -1,0 +1,99 @@
+#include "core/point_database.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "workload/point_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+TEST(PointDatabaseTest, BuildsBothStructures) {
+  Rng rng(11);
+  PointDatabase db(GenerateUniformPoints(1000, kUnit, &rng));
+  EXPECT_EQ(db.size(), 1000u);
+  EXPECT_EQ(db.rtree().size(), 1000u);
+  EXPECT_EQ(db.delaunay().num_points(), 1000u);
+  EXPECT_GT(db.delaunay().num_triangles(), 1500u);  // ~2n for uniform.
+  EXPECT_TRUE(kUnit.Contains(db.bounds()));
+}
+
+TEST(PointDatabaseTest, FetchPointChargesStats) {
+  PointDatabase db(std::vector<Point>{{0.1, 0.1}, {0.9, 0.9}});
+  QueryStats stats;
+  EXPECT_EQ(db.FetchPoint(0, &stats), Point(0.1, 0.1));
+  EXPECT_EQ(db.FetchPoint(1, &stats), Point(0.9, 0.9));
+  EXPECT_EQ(stats.geometry_loads, 2u);
+  // Null stats allowed.
+  EXPECT_EQ(db.FetchPoint(0, nullptr), Point(0.1, 0.1));
+}
+
+TEST(PointDatabaseTest, SimulatedFetchLatencySlowsLoads) {
+  Rng rng(12);
+  PointDatabase db(GenerateUniformPoints(100, kUnit, &rng));
+  const auto timed_loads = [&](int count) {
+    const auto t0 = std::chrono::steady_clock::now();
+    QueryStats stats;
+    for (int i = 0; i < count; ++i) db.FetchPoint(i % 100, &stats);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  db.set_simulated_fetch_ns(0);
+  const double fast = timed_loads(1000);
+  db.set_simulated_fetch_ns(10000);  // 10us per load -> >= 10ms total.
+  const double slow = timed_loads(1000);
+  EXPECT_GE(slow, 9.0);
+  EXPECT_LT(fast, slow);
+}
+
+TEST(PointDatabaseTest, VoronoiDiagramLazyButConsistent) {
+  Rng rng(13);
+  const auto points = GenerateUniformPoints(200, kUnit, &rng);
+  PointDatabase db(points);
+  const VoronoiDiagram& vd = db.voronoi();
+  EXPECT_EQ(vd.size(), 200u);
+  // Every generator sits in its own cell.
+  for (PointId v = 0; v < vd.size(); ++v) {
+    EXPECT_TRUE(vd.CellContains(v, points[v]));
+  }
+  // Same object on second access.
+  EXPECT_EQ(&db.voronoi(), &vd);
+}
+
+TEST(PointDatabaseTest, CustomRTreeFanout) {
+  Rng rng(14);
+  PointDatabase::Options options;
+  options.rtree_max_entries = 8;
+  options.rtree_min_entries = 3;
+  PointDatabase db(GenerateUniformPoints(2000, kUnit, &rng), options);
+  // Smaller fanout -> taller tree than the default-16 tree would be.
+  EXPECT_GE(db.rtree().Height(), 4);
+}
+
+TEST(QueryStatsTest, AccumulateAndRedundancy) {
+  QueryStats a;
+  a.candidates = 10;
+  a.candidate_hits = 7;
+  a.results = 7;
+  a.elapsed_ms = 1.5;
+  QueryStats b;
+  b.candidates = 5;
+  b.candidate_hits = 5;
+  b.results = 5;
+  b.elapsed_ms = 0.5;
+  a += b;
+  EXPECT_EQ(a.candidates, 15u);
+  EXPECT_EQ(a.results, 12u);
+  EXPECT_EQ(a.RedundantValidations(), 3u);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+  a.Reset();
+  EXPECT_EQ(a.candidates, 0u);
+}
+
+}  // namespace
+}  // namespace vaq

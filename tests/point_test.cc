@@ -1,0 +1,75 @@
+#include "geometry/point.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  const Point p;
+  EXPECT_EQ(p.x, 0.0);
+  EXPECT_EQ(p.y, 0.0);
+}
+
+TEST(PointTest, VectorArithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -4.0};
+  EXPECT_EQ(a + b, Point(4.0, -2.0));
+  EXPECT_EQ(a - b, Point(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Point(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Point(1.5, -2.0));
+}
+
+TEST(PointTest, DotAndCross) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), 2.0);  // Antisymmetric.
+}
+
+TEST(PointTest, NormAndDistance) {
+  const Point a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, a), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(PointTest, MidpointIsHalfway) {
+  EXPECT_EQ(Midpoint({0, 0}, {2, 4}), Point(1.0, 2.0));
+  EXPECT_EQ(Midpoint({-1, -1}, {1, 1}), Point(0.0, 0.0));
+}
+
+TEST(PointTest, LexicographicOrder) {
+  EXPECT_LT(Point(0, 5), Point(1, 0));
+  EXPECT_LT(Point(1, 0), Point(1, 5));
+  EXPECT_FALSE(Point(1, 5) < Point(1, 5));
+}
+
+TEST(PointTest, EqualityIsExact) {
+  EXPECT_EQ(Point(0.1, 0.2), Point(0.1, 0.2));
+  EXPECT_NE(Point(0.1, 0.2), Point(0.1, 0.2 + 1e-15));
+}
+
+TEST(PointTest, StreamOutput) {
+  std::ostringstream os;
+  os << Point{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(PointTest, HashDistinguishesPoints) {
+  std::unordered_set<Point, PointHash> set;
+  set.insert({0, 0});
+  set.insert({0, 1});
+  set.insert({1, 0});
+  set.insert({0, 0});  // Duplicate.
+  EXPECT_EQ(set.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vaq

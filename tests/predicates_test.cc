@@ -1,0 +1,142 @@
+#include "geometry/predicates.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(Orient2DTest, BasicTurns) {
+  EXPECT_GT(Orient2D({0, 0}, {1, 0}, {0, 1}), 0.0);  // Left turn.
+  EXPECT_LT(Orient2D({0, 0}, {0, 1}, {1, 0}), 0.0);  // Right turn.
+  EXPECT_EQ(Orient2D({0, 0}, {1, 1}, {2, 2}), 0.0);  // Collinear.
+}
+
+TEST(Orient2DTest, SignHelper) {
+  EXPECT_EQ(Orient2DSign({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(Orient2DSign({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(Orient2DSign({0, 0}, {1, 0}, {2, 0}), 0);
+}
+
+TEST(Orient2DTest, MagnitudeIsTwiceArea) {
+  // Right triangle with legs 3 and 4: area 6, determinant 12.
+  EXPECT_DOUBLE_EQ(Orient2D({0, 0}, {3, 0}, {0, 4}), 12.0);
+}
+
+TEST(Orient2DTest, NearlyCollinearDecidedExactly) {
+  // Classic adversarial case: points on a line y = x with one nudged by
+  // the smallest representable amount. Naive double evaluation returns 0
+  // or a wrong sign for many such inputs; the exact fallback must not.
+  const Point a{0.5, 0.5};
+  const Point b{12.0, 12.0};
+  const Point c{24.0, 24.0 + std::ldexp(1.0, -44)};
+  EXPECT_EQ(Orient2DSign(a, b, c), 1);
+  const Point c2{24.0, 24.0 - std::ldexp(1.0, -44)};
+  EXPECT_EQ(Orient2DSign(a, b, c2), -1);
+  EXPECT_EQ(Orient2DSign(a, b, {24.0, 24.0}), 0);
+}
+
+TEST(Orient2DTest, AgreesWithExactOnRandomNearDegenerate) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::uniform_real_distribution<double> eps(-1e-14, 1e-14);
+  for (int i = 0; i < 2000; ++i) {
+    const Point a{dist(rng), dist(rng)};
+    const Point b{dist(rng), dist(rng)};
+    // c near the line through a and b.
+    const double t = dist(rng) * 2.0;
+    const Point c{a.x + t * (b.x - a.x) + eps(rng),
+                  a.y + t * (b.y - a.y) + eps(rng)};
+    const double exact = predicates_internal::Orient2DExact(a, b, c);
+    const double filtered = Orient2D(a, b, c);
+    const auto sgn = [](double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); };
+    EXPECT_EQ(sgn(filtered), sgn(exact));
+  }
+}
+
+TEST(Orient2DTest, AntisymmetryUnderSwap) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int i = 0; i < 500; ++i) {
+    const Point a{dist(rng), dist(rng)};
+    const Point b{dist(rng), dist(rng)};
+    const Point c{dist(rng), dist(rng)};
+    EXPECT_EQ(Orient2DSign(a, b, c), -Orient2DSign(b, a, c));
+    EXPECT_EQ(Orient2DSign(a, b, c), Orient2DSign(b, c, a));  // Cyclic.
+  }
+}
+
+TEST(InCircleTest, UnitCircleBasics) {
+  // CCW unit circle through (1,0), (0,1), (-1,0).
+  const Point a{1, 0}, b{0, 1}, c{-1, 0};
+  EXPECT_GT(InCircle(a, b, c, {0, 0}), 0.0);        // Centre inside.
+  EXPECT_LT(InCircle(a, b, c, {2, 0}), 0.0);        // Outside.
+  EXPECT_EQ(InCircleSign(a, b, c, {0, -1}), 0);     // On the circle.
+}
+
+TEST(InCircleTest, OrientationFlipsSign) {
+  const Point a{1, 0}, b{0, 1}, c{-1, 0};
+  const Point inside{0.1, 0.1};
+  EXPECT_GT(InCircle(a, b, c, inside), 0.0);
+  EXPECT_LT(InCircle(c, b, a, inside), 0.0);  // CW triangle flips.
+}
+
+TEST(InCircleTest, CocircularExactlyZero) {
+  // Four points of a circle centred at (0.5, 0.5) with radius 0.5 whose
+  // coordinates are exactly representable.
+  const Point a{0.5, 0.0}, b{1.0, 0.5}, c{0.5, 1.0}, d{0.0, 0.5};
+  EXPECT_EQ(InCircleSign(a, b, c, d), 0);
+}
+
+TEST(InCircleTest, NearCocircularDecidedExactly) {
+  const double ulp = std::ldexp(1.0, -50);
+  const Point a{0.5, 0.0}, b{1.0, 0.5}, c{0.5, 1.0};
+  EXPECT_GT(InCircle(a, b, c, {0.0 + ulp, 0.5}), 0.0);  // Nudged inward.
+  EXPECT_LT(InCircle(a, b, c, {0.0 - ulp, 0.5}), 0.0);  // Nudged outward.
+}
+
+TEST(InCircleTest, AgreesWithExactOnRandomNearDegenerate) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::uniform_real_distribution<double> eps(-1e-13, 1e-13);
+  int exact_cases = 0;
+  for (int i = 0; i < 1000; ++i) {
+    // Random circle; d placed near it.
+    const Point centre{dist(rng), dist(rng)};
+    const double r = 0.1 + dist(rng);
+    auto on_circle = [&](double angle) {
+      return Point{centre.x + r * std::cos(angle),
+                   centre.y + r * std::sin(angle)};
+    };
+    const Point a = on_circle(0.3);
+    const Point b = on_circle(2.1);
+    const Point c = on_circle(4.4);
+    const Point d = on_circle(5.2 + eps(rng));
+    if (Orient2DSign(a, b, c) == 0) continue;
+    const double exact = predicates_internal::InCircleExact(a, b, c, d);
+    const double filtered = InCircle(a, b, c, d);
+    const auto sgn = [](double v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); };
+    EXPECT_EQ(sgn(filtered), sgn(exact));
+    if (std::fabs(exact) < 1e-20) ++exact_cases;
+  }
+  (void)exact_cases;
+}
+
+TEST(CircumcenterTest, EquidistantFromVertices) {
+  const Point a{0, 0}, b{4, 0}, c{1, 3};
+  const Point cc = Circumcenter(a, b, c);
+  const double da = Distance(cc, a);
+  EXPECT_NEAR(Distance(cc, b), da, 1e-12);
+  EXPECT_NEAR(Distance(cc, c), da, 1e-12);
+}
+
+TEST(CircumcenterTest, RightTriangleCentreOnHypotenuse) {
+  const Point cc = Circumcenter({0, 0}, {2, 0}, {0, 2});
+  EXPECT_NEAR(cc.x, 1.0, 1e-12);
+  EXPECT_NEAR(cc.y, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,94 @@
+// Tests of the R-tree split strategies (quadratic vs linear): both must
+// preserve all invariants and answer queries identically; quadratic should
+// produce tighter nodes (less overlap) on average.
+
+#include <random>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "index/rtree.h"
+
+namespace vaq {
+namespace {
+
+std::vector<Point> RandomPoints(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back({dist(rng), dist(rng)});
+  return points;
+}
+
+class RTreeSplitTest : public ::testing::TestWithParam<RTree::SplitStrategy> {
+};
+
+TEST_P(RTreeSplitTest, InvariantsAfterDynamicInserts) {
+  RTree tree(16, 6, GetParam());
+  const auto points = RandomPoints(4000, 99);
+  tree.Build({});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<PointId>(i));
+  }
+  std::string why;
+  EXPECT_TRUE(tree.CheckInvariants(&why)) << why;
+  EXPECT_EQ(tree.size(), points.size());
+}
+
+TEST_P(RTreeSplitTest, QueriesMatchBruteForce) {
+  RTree tree(8, 3, GetParam());
+  const auto points = RandomPoints(2000, 100);
+  tree.Build({});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<PointId>(i));
+  }
+  std::mt19937_64 rng(101);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int q = 0; q < 30; ++q) {
+    const double x0 = dist(rng), y0 = dist(rng);
+    const Box window =
+        Box::FromExtents(x0, y0, x0 + dist(rng) * 0.3, y0 + dist(rng) * 0.3);
+    std::vector<PointId> got;
+    tree.WindowQuery(window, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<PointId> expect;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (window.Contains(points[i])) expect.push_back(static_cast<PointId>(i));
+    }
+    EXPECT_EQ(got, expect);
+  }
+  // NN sanity.
+  const PointId nn = tree.NearestNeighbor({0.5, 0.5});
+  double best = 1e300;
+  for (const Point& p : points) best = std::min(best, SquaredDistance(p, {0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(SquaredDistance(points[nn], {0.5, 0.5}), best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, RTreeSplitTest,
+                         ::testing::Values(RTree::SplitStrategy::kQuadratic,
+                                           RTree::SplitStrategy::kLinear),
+                         [](const auto& info) {
+                           return info.param ==
+                                          RTree::SplitStrategy::kQuadratic
+                                      ? std::string("quadratic")
+                                      : std::string("linear");
+                         });
+
+TEST(RTreeSplitComparisonTest, BothStrategiesIndexEverything) {
+  const auto points = RandomPoints(3000, 102);
+  for (const auto strategy : {RTree::SplitStrategy::kQuadratic,
+                              RTree::SplitStrategy::kLinear}) {
+    RTree tree(16, 6, strategy);
+    tree.Build({});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      tree.Insert(points[i], static_cast<PointId>(i));
+    }
+    std::vector<PointId> all;
+    tree.WindowQuery(Box::FromExtents(-1, -1, 2, 2), &all);
+    EXPECT_EQ(all.size(), points.size());
+  }
+}
+
+}  // namespace
+}  // namespace vaq

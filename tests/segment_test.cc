@@ -1,0 +1,75 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace vaq {
+namespace {
+
+TEST(SegmentTest, BoundsAndLength) {
+  const Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_EQ(s.Bounds(), Box::FromExtents(0, 0, 3, 4));
+  const Segment reversed{{3, 4}, {0, 0}};
+  EXPECT_EQ(reversed.Bounds(), s.Bounds());
+}
+
+TEST(SegmentTest, SquaredDistanceToPoint) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo({5, 3}), 9.0);    // Perpendicular.
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo({-3, 4}), 25.0);  // Before start.
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo({13, 4}), 25.0);  // After end.
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo({7, 0}), 0.0);    // On segment.
+}
+
+TEST(SegmentTest, DegenerateSegmentDistance) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(s.SquaredDistanceTo({4, 5}), 25.0);
+}
+
+TEST(OnSegmentTest, EndpointsAndInterior) {
+  const Segment s{{0, 0}, {2, 2}};
+  EXPECT_TRUE(OnSegment(s, {0, 0}));
+  EXPECT_TRUE(OnSegment(s, {2, 2}));
+  EXPECT_TRUE(OnSegment(s, {1, 1}));
+  EXPECT_FALSE(OnSegment(s, {3, 3}));    // Collinear but beyond.
+  EXPECT_FALSE(OnSegment(s, {1, 1.5}));  // Off the line.
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 1}}, {{2, 0}, {3, 1}}));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouching) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 5}}));  // T.
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{2, 0}, {3, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentsIntersectTest, ParallelNonCollinear) {
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {2, 0}}, {{0, 1}, {2, 1}}));
+}
+
+TEST(SegmentsIntersectTest, SymmetricInArguments) {
+  const Segment s{{0, 0}, {2, 2}};
+  const Segment t{{0, 2}, {2, 0}};
+  EXPECT_EQ(SegmentsIntersect(s, t), SegmentsIntersect(t, s));
+  const Segment far_away{{5, 5}, {6, 6}};
+  EXPECT_EQ(SegmentsIntersect(s, far_away), SegmentsIntersect(far_away, s));
+}
+
+TEST(SegmentsIntersectTest, NearMissDecidedRobustly) {
+  // Segment endpoints chosen so the crossing decision hinges on exact
+  // arithmetic: t passes exactly through s's endpoint.
+  const Segment s{{0, 0}, {1, 1}};
+  const Segment t{{0.5, 0.5}, {2, -1}};  // Starts exactly on s.
+  EXPECT_TRUE(SegmentsIntersect(s, t));
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,183 @@
+// Tests of the experiment workload generators (points and query polygons).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+TEST(PointGeneratorTest, UniformCountAndRange) {
+  Rng rng(1);
+  const auto points = GenerateUniformPoints(5000, kUnit, &rng);
+  EXPECT_EQ(points.size(), 5000u);
+  for (const Point& p : points) {
+    EXPECT_TRUE(kUnit.Contains(p));
+  }
+}
+
+TEST(PointGeneratorTest, UniformIsRoughlyUniform) {
+  Rng rng(2);
+  const auto points = GenerateUniformPoints(40000, kUnit, &rng);
+  // Quadrant counts within 5% of expectation.
+  int counts[4] = {0, 0, 0, 0};
+  for (const Point& p : points) {
+    counts[(p.x >= 0.5 ? 1 : 0) + (p.y >= 0.5 ? 2 : 0)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(PointGeneratorTest, PointsAreDistinct) {
+  Rng rng(3);
+  for (const PointDistribution d :
+       {PointDistribution::kUniform, PointDistribution::kClustered,
+        PointDistribution::kGrid}) {
+    const auto points = GeneratePoints(3000, kUnit, d, &rng);
+    std::set<std::pair<double, double>> seen;
+    for (const Point& p : points) seen.insert({p.x, p.y});
+    EXPECT_EQ(seen.size(), points.size()) << PointDistributionName(d);
+  }
+}
+
+TEST(PointGeneratorTest, DeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  const auto a = GenerateUniformPoints(100, kUnit, &rng1);
+  const auto b = GenerateUniformPoints(100, kUnit, &rng2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PointGeneratorTest, ClusteredIsDenserThanUniformSomewhere) {
+  Rng rng(4);
+  const auto points = GenerateClusteredPoints(20000, kUnit, 4, 0.02, &rng);
+  EXPECT_EQ(points.size(), 20000u);
+  // Max count over a 16x16 grid must far exceed the uniform expectation.
+  int grid[256] = {0};
+  for (const Point& p : points) {
+    const int gx = std::min(15, static_cast<int>(p.x * 16));
+    const int gy = std::min(15, static_cast<int>(p.y * 16));
+    grid[gy * 16 + gx]++;
+  }
+  int max_count = 0;
+  for (int c : grid) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3 * (20000 / 256));
+}
+
+TEST(PointGeneratorTest, GridJitterStaysInDomain) {
+  Rng rng(5);
+  const auto points = GenerateGridPoints(5000, kUnit, 0.25, &rng);
+  EXPECT_EQ(points.size(), 5000u);
+  for (const Point& p : points) EXPECT_TRUE(kUnit.Contains(p));
+}
+
+TEST(PolygonGeneratorTest, MeetsQuerySizeExactly) {
+  Rng rng(6);
+  for (const double frac : {0.01, 0.02, 0.04, 0.08, 0.16, 0.32}) {
+    PolygonSpec spec;
+    spec.query_size_fraction = frac;
+    const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+    EXPECT_NEAR(area.Bounds().Area(), frac * kUnit.Area(), 1e-9)
+        << "fraction " << frac;
+  }
+}
+
+TEST(PolygonGeneratorTest, TenVerticesSimpleInsideDomain) {
+  Rng rng(7);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.08;
+  for (int i = 0; i < 100; ++i) {
+    const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+    EXPECT_EQ(area.size(), 10u);
+    EXPECT_TRUE(area.IsSimple());
+    EXPECT_TRUE(kUnit.Contains(area.Bounds()));
+  }
+}
+
+TEST(PolygonGeneratorTest, AreaToMbrRatioMatchesPaperCalibration) {
+  // DESIGN.md: radii U[0.35,1] targets area(A)/area(MBR) ~ 0.53, matching
+  // the paper's result-size/candidate-size ratios. Allow a generous band.
+  Rng rng(8);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.05;
+  double ratio_sum = 0.0;
+  const int reps = 300;
+  for (int i = 0; i < reps; ++i) {
+    const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+    ratio_sum += area.Area() / area.Bounds().Area();
+  }
+  const double mean_ratio = ratio_sum / reps;
+  EXPECT_GT(mean_ratio, 0.45);
+  EXPECT_LT(mean_ratio, 0.62);
+}
+
+TEST(PolygonGeneratorTest, CustomVertexCount) {
+  Rng rng(9);
+  PolygonSpec spec;
+  spec.vertices = 24;
+  spec.query_size_fraction = 0.1;
+  const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+  EXPECT_EQ(area.size(), 24u);
+  EXPECT_TRUE(area.IsSimple());
+}
+
+TEST(PolygonGeneratorTest, MostDecagonsAreConcave) {
+  // The paper argues irregular (usually concave) query areas are the
+  // common case; our generator should produce them overwhelmingly.
+  Rng rng(10);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.05;
+  int concave = 0;
+  const int reps = 100;
+  for (int i = 0; i < reps; ++i) {
+    const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+    // A polygon is convex iff no reflex corner exists (CCW ring: all
+    // cross products positive).
+    bool is_convex = true;
+    const double orientation = area.SignedArea() > 0 ? 1.0 : -1.0;
+    for (std::size_t v = 0; v < area.size(); ++v) {
+      const Point& a = area.vertex(v);
+      const Point& b = area.vertex((v + 1) % area.size());
+      const Point& c = area.vertex((v + 2) % area.size());
+      if (orientation * (b - a).Cross(c - b) < 0) {
+        is_convex = false;
+        break;
+      }
+    }
+    if (!is_convex) ++concave;
+  }
+  EXPECT_GT(concave, 80);
+}
+
+TEST(CombPolygonGeneratorTest, TeethCountControlsComplexity) {
+  for (int teeth = 2; teeth <= 8; ++teeth) {
+    const Polygon comb =
+        GenerateCombPolygon(Box::FromExtents(0, 0, 1, 1), teeth);
+    EXPECT_EQ(comb.size(), static_cast<std::size_t>(4 * teeth));
+    EXPECT_TRUE(comb.IsSimple()) << teeth;
+  }
+}
+
+TEST(RngTest, DeterministicAndRangeRespecting) {
+  Rng a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.Uniform(-2.0, 3.0);
+    EXPECT_EQ(va, b.Uniform(-2.0, 3.0));
+    EXPECT_GE(va, -2.0);
+    EXPECT_LT(va, 3.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto v = a.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+}  // namespace
+}  // namespace vaq
