@@ -17,15 +17,15 @@ using namespace vaq;
 
 double QueryNodeAccesses(RTree& tree, int reps) {
   Rng rng(5);
-  tree.ResetStats();
+  IndexStats stats;
   std::vector<PointId> out;
   for (int i = 0; i < reps; ++i) {
     const double x = rng.Uniform(0.0, 0.9);
     const double y = rng.Uniform(0.0, 0.9);
     out.clear();
-    tree.WindowQuery(Box::FromExtents(x, y, x + 0.1, y + 0.1), &out);
+    tree.WindowQuery(Box::FromExtents(x, y, x + 0.1, y + 0.1), &out, &stats);
   }
-  return static_cast<double>(tree.stats().node_accesses) / reps;
+  return static_cast<double>(stats.node_accesses) / reps;
 }
 
 }  // namespace

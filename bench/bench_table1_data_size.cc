@@ -10,9 +10,12 @@
 // Candidate / redundant-validation counts are identical across models and
 // are the paper's primary effect (Fig. 5).
 //
-// Usage: bench_table1_data_size [--quick]
+// Usage: bench_table1_data_size [--quick] [--threads]
 //   --quick: 3 data sizes, 20 repetitions (CI smoke run). Default: the
 //   paper's full 10 sizes at 100 repetitions.
+//   --threads: additionally re-run every row through the QueryEngine at
+//   1/2/4/8 worker threads and print a thread-scaling table per row
+//   (blocking IO model, so the scaling is visible on any core count).
 
 #include <cstring>
 #include <iostream>
@@ -22,7 +25,12 @@
 
 int main(int argc, char** argv) {
   using namespace vaq;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  bool threads = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0) threads = true;
+  }
 
   std::vector<std::size_t> data_sizes;
   if (quick) {
@@ -52,6 +60,22 @@ int main(int argc, char** argv) {
     for (const ExperimentRow& r : rows) mismatches += r.mismatches;
     std::cout << "result-set mismatches between methods: " << mismatches
               << "\n";
+  }
+
+  if (threads) {
+    for (const std::size_t n : data_sizes) {
+      ExperimentConfig config;
+      config.data_size = n;
+      config.query_size_fraction = 0.01;
+      config.repetitions = reps;
+      config.seed = 20200101;
+      config.simulated_fetch_ns = 20000.0;
+      config.blocking_fetch = true;
+      std::cout << "\n=== Table I thread scaling: data size " << n
+                << " (blocking IO, 20us/fetch) ===\n";
+      PrintThreadScalingTable(RunThreadSweep(config, {1, 2, 4, 8}),
+                              std::cout);
+    }
   }
   return 0;
 }

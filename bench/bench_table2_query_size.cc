@@ -3,7 +3,10 @@
 // domain (data size fixed at 1E5 points). See bench_table1_data_size.cc
 // for the two timing models.
 //
-// Usage: bench_table2_query_size [--quick]
+// Usage: bench_table2_query_size [--quick] [--threads]
+//   --threads: additionally re-run every row through the QueryEngine at
+//   1/2/4/8 worker threads and print a thread-scaling table per row
+//   (blocking IO model, so the scaling is visible on any core count).
 
 #include <cstring>
 #include <iostream>
@@ -13,7 +16,12 @@
 
 int main(int argc, char** argv) {
   using namespace vaq;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  bool threads = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--threads") == 0) threads = true;
+  }
   const std::vector<double> query_sizes =
       quick ? std::vector<double>{0.01, 0.08, 0.32}
             : std::vector<double>{0.01, 0.02, 0.04, 0.08, 0.16, 0.32};
@@ -39,6 +47,22 @@ int main(int argc, char** argv) {
     for (const ExperimentRow& r : rows) mismatches += r.mismatches;
     std::cout << "result-set mismatches between methods: " << mismatches
               << "\n";
+  }
+
+  if (threads) {
+    for (const double qs : query_sizes) {
+      ExperimentConfig config;
+      config.data_size = 100000;
+      config.query_size_fraction = qs;
+      config.repetitions = reps;
+      config.seed = 20200202;
+      config.simulated_fetch_ns = 20000.0;
+      config.blocking_fetch = true;
+      std::cout << "\n=== Table II thread scaling: query size " << qs * 100.0
+                << "% (blocking IO, 20us/fetch) ===\n";
+      PrintThreadScalingTable(RunThreadSweep(config, {1, 2, 4, 8}),
+                              std::cout);
+    }
   }
   return 0;
 }

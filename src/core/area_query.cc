@@ -1,0 +1,13 @@
+#include "core/area_query.h"
+
+namespace vaq {
+
+std::vector<PointId> AreaQuery::Run(const Polygon& area,
+                                    QueryStats* stats) const {
+  static thread_local QueryContext ctx;
+  std::vector<PointId> result = Run(area, ctx);
+  if (stats != nullptr) *stats = ctx.stats;
+  return result;
+}
+
+}  // namespace vaq

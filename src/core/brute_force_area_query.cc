@@ -5,8 +5,9 @@
 namespace vaq {
 
 std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
-                                              QueryStats* stats) const {
-  if (stats != nullptr) stats->Reset();
+                                              QueryContext& ctx) const {
+  QueryStats* stats = &ctx.stats;
+  stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<PointId> result;
   const std::size_t n = db_->size();
@@ -14,15 +15,12 @@ std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
     const Point& p = db_->FetchPoint(id, stats);
     if (area.Contains(p)) result.push_back(id);
   }
-  if (stats != nullptr) {
-    stats->candidates = n;
-    stats->results = result.size();
-    stats->candidate_hits = stats->results;
-    stats->elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-  }
+  stats->candidates = n;
+  stats->results = result.size();
+  stats->candidate_hits = stats->results;
+  stats->elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
   return result;  // Already sorted: ids scanned in ascending order.
 }
 

@@ -13,8 +13,9 @@ class BruteForceAreaQuery : public AreaQuery {
   /// `db` must outlive this object.
   explicit BruteForceAreaQuery(const PointDatabase* db) : db_(db) {}
 
+  using AreaQuery::Run;
   std::vector<PointId> Run(const Polygon& area,
-                           QueryStats* stats) const override;
+                           QueryContext& ctx) const override;
   std::string_view Name() const override { return "brute-force"; }
 
  private:

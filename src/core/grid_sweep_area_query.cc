@@ -36,8 +36,9 @@ Box GridSweepAreaQuery::CellBox(int cx, int cy) const {
 }
 
 std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
-                                             QueryStats* stats) const {
-  if (stats != nullptr) stats->Reset();
+                                             QueryContext& ctx) const {
+  QueryStats* stats = &ctx.stats;
+  stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<PointId> result;
 
@@ -60,7 +61,7 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
         const std::vector<PointId>& bucket =
             cells_[static_cast<std::size_t>(cy) * side_ + cx];
         if (bucket.empty()) continue;
-        if (stats != nullptr) ++stats->index_node_accesses;
+        ++stats->index_node_accesses;
         const Box cell = CellBox(cx, cy);
         if (area.ContainsBox(cell)) {
           // Interior cell: accept wholesale. The records are still fetched
@@ -72,11 +73,11 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
         } else if (area.IntersectsBox(cell)) {
           // Boundary cell: validate point by point.
           for (const PointId id : bucket) {
-            if (stats != nullptr) ++stats->candidates;
+            ++stats->candidates;
             const Point& p = db_->FetchPoint(id, stats);
             if (area.Contains(p)) {
               result.push_back(id);
-              if (stats != nullptr) ++stats->candidate_hits;
+              ++stats->candidate_hits;
             }
           }
         }
@@ -85,13 +86,10 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
   }
   std::sort(result.begin(), result.end());
 
-  if (stats != nullptr) {
-    stats->results = result.size();
-    stats->elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-  }
+  stats->results = result.size();
+  stats->elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
   return result;
 }
 

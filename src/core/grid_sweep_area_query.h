@@ -27,8 +27,9 @@ class GridSweepAreaQuery : public AreaQuery {
   explicit GridSweepAreaQuery(const PointDatabase* db,
                               int target_bucket_size = 8);
 
+  using AreaQuery::Run;
   std::vector<PointId> Run(const Polygon& area,
-                           QueryStats* stats) const override;
+                           QueryContext& ctx) const override;
   std::string_view Name() const override { return "grid-sweep"; }
 
   int grid_side() const { return side_; }

@@ -2,13 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace vaq {
 
 void PointDatabase::SimulateFetchLatency() const {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
+  const auto wait =
       std::chrono::nanoseconds(static_cast<long>(simulated_fetch_ns_));
+  if (latency_model_ == FetchLatencyModel::kSleep) {
+    std::this_thread::sleep_for(wait);
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + wait;
   while (std::chrono::steady_clock::now() < deadline) {
     // Busy-wait: models synchronous object IO.
   }
@@ -23,7 +28,7 @@ PointDatabase::PointDatabase(std::vector<Point> points, Options options)
 }
 
 const VoronoiDiagram& PointDatabase::voronoi() const {
-  if (voronoi_ == nullptr) {
+  std::call_once(voronoi_once_, [this] {
     // Inflate the clip box a little so border cells keep a margin around
     // their generators.
     Box clip = bounds_;
@@ -34,7 +39,7 @@ const VoronoiDiagram& PointDatabase::voronoi() const {
     clip.max.x += dx;
     clip.max.y += dy;
     voronoi_ = std::make_unique<VoronoiDiagram>(delaunay_, clip);
-  }
+  });
   return *voronoi_;
 }
 

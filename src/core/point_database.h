@@ -2,6 +2,7 @@
 #define VAQ_CORE_POINT_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/query_stats.h"
@@ -44,7 +45,9 @@ class PointDatabase {
 
   /// The explicit Voronoi diagram (cells clipped to a slightly inflated
   /// data bounding box). Built lazily on first use — only the cell-overlap
-  /// expansion ablation and the examples/tests need it.
+  /// expansion ablation and the examples/tests need it. The lazy build is
+  /// guarded by a `std::once_flag`, so concurrent first calls from engine
+  /// worker threads are safe.
   const VoronoiDiagram& voronoi() const;
 
   /// Fetches the geometry of point `id`, charging one geometry load to
@@ -55,17 +58,35 @@ class PointDatabase {
     return points_[id];
   }
 
+  /// How a simulated object fetch spends its latency.
+  enum class FetchLatencyModel {
+    /// Spin on the clock. Precise for sub-microsecond latencies and keeps
+    /// single-thread timings comparable, but occupies the CPU — threads
+    /// cannot overlap their "IO" waits.
+    kBusyWait,
+    /// `std::this_thread::sleep_for`. Models blocking IO faithfully: the
+    /// worker yields the core, so concurrent queries overlap their waits
+    /// and a thread pool shows real throughput scaling even on one core.
+    /// Coarser (scheduler quantum) — use for latencies >= ~10us.
+    kSleep,
+  };
+
   /// Simulated per-object fetch latency in nanoseconds (default 0 = off).
   ///
   /// The paper evaluates on a disk-framed, interpreted (Python) stack where
   /// loading + validating one candidate dominates the query cost; in this
   /// in-memory C++ reproduction a validation costs ~85 ns, so index/graph
   /// overheads are no longer negligible. Setting a latency here charges
-  /// every `FetchPoint` a busy-wait of that length, restoring the paper's
+  /// every `FetchPoint` a wait of that length, restoring the paper's
   /// cost model (each candidate = one object IO). The table benches report
   /// both raw (0 ns) and IO-simulated runs; see DESIGN.md "Substitutions".
+  ///
+  /// Not thread-safe against in-flight queries: configure before handing
+  /// the database to a `QueryEngine`.
   void set_simulated_fetch_ns(double ns) { simulated_fetch_ns_ = ns; }
   double simulated_fetch_ns() const { return simulated_fetch_ns_; }
+  void set_fetch_latency_model(FetchLatencyModel m) { latency_model_ = m; }
+  FetchLatencyModel fetch_latency_model() const { return latency_model_; }
 
  private:
   void SimulateFetchLatency() const;
@@ -74,8 +95,10 @@ class PointDatabase {
   Box bounds_;
   RTree rtree_;
   DelaunayTriangulation delaunay_;
+  mutable std::once_flag voronoi_once_;
   mutable std::unique_ptr<VoronoiDiagram> voronoi_;
   double simulated_fetch_ns_ = 0.0;
+  FetchLatencyModel latency_model_ = FetchLatencyModel::kBusyWait;
 };
 
 }  // namespace vaq

@@ -1,0 +1,87 @@
+#ifndef VAQ_CORE_QUERY_CONTEXT_H_
+#define VAQ_CORE_QUERY_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/query_stats.h"
+#include "index/spatial_index.h"
+
+namespace vaq {
+
+/// Per-thread scratch arena for area-query execution.
+///
+/// Query objects (`AreaQuery` implementations) are stateless and therefore
+/// safe to share across threads; everything a single execution mutates —
+/// the epoch-marked visited set, candidate queues, index IO counters and
+/// the `QueryStats` slot — lives here instead. The engine keeps one
+/// `QueryContext` per worker thread so scratch memory is allocated once
+/// and reused across millions of queries; single-threaded callers can use
+/// the convenience `AreaQuery::Run(area, stats)` overload, which maintains
+/// one context per calling thread.
+///
+/// A context must never be used by two threads at the same time.
+class QueryContext {
+ public:
+  /// Stats of the most recent query run with this context. Implementations
+  /// reset it at the start of `Run` and fill it as they go.
+  QueryStats stats;
+
+  // -- Epoch-marked visited set -------------------------------------------
+  //
+  // `visited[id] == epoch` means "id was visited by the current query".
+  // Bumping the epoch invalidates all marks in O(1) instead of an O(n)
+  // clear per query on million-point databases.
+
+  /// Starts a fresh visited epoch over ids `[0, n)`. Handles the epoch
+  /// counter wrap: when the uint32 overflows, stale marks from 2^32 queries
+  /// ago would alias fresh ones, so the array is cleared and the epoch
+  /// restarts at 1 (0 is reserved as "never marked").
+  void BeginVisitEpoch(std::size_t n) {
+    // Resize clears to 0, which can never equal a live epoch (0 is
+    // reserved), so the epoch counter deliberately keeps running here.
+    if (visited_.size() != n) visited_.assign(n, 0);
+    if (++epoch_ == 0) {
+      std::fill(visited_.begin(), visited_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+  bool Visited(PointId id) const { return visited_[id] == epoch_; }
+  void MarkVisited(PointId id) { visited_[id] = epoch_; }
+
+  /// Test hook for the wrap path: force the epoch counter near its maximum
+  /// without running 2^32 queries.
+  void SetEpochForTest(std::uint32_t epoch) { epoch_ = epoch; }
+
+  // -- Scratch buffers -----------------------------------------------------
+
+  /// BFS frontier / candidate queue, cleared and ready to fill.
+  std::vector<PointId>& ScratchQueue() {
+    queue_.clear();
+    return queue_;
+  }
+
+  /// Candidate id buffer (window-query output), cleared and ready to fill.
+  std::vector<PointId>& ScratchCandidates() {
+    candidates_.clear();
+    return candidates_;
+  }
+
+  /// Per-query index IO counters, reset and ready to pass to index calls.
+  IndexStats& ScratchIndexStats() {
+    index_stats_.Reset();
+    return index_stats_;
+  }
+
+ private:
+  std::vector<std::uint32_t> visited_;
+  std::uint32_t epoch_ = 0;
+  std::vector<PointId> queue_;
+  std::vector<PointId> candidates_;
+  IndexStats index_stats_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_QUERY_CONTEXT_H_

@@ -10,14 +10,15 @@ TraditionalAreaQuery::TraditionalAreaQuery(const PointDatabase* db,
     : db_(db), index_(index != nullptr ? index : &db->rtree()) {}
 
 std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
-                                               QueryStats* stats) const {
-  if (stats != nullptr) stats->Reset();
+                                               QueryContext& ctx) const {
+  QueryStats* stats = &ctx.stats;
+  stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t nodes_before = index_->stats().node_accesses;
+  IndexStats& filter_io = ctx.ScratchIndexStats();
 
   // Filter: all points inside the MBR of the query area.
-  std::vector<PointId> candidates;
-  index_->WindowQuery(area.Bounds(), &candidates);
+  std::vector<PointId>& candidates = ctx.ScratchCandidates();
+  index_->WindowQuery(area.Bounds(), &candidates, &filter_io);
 
   // Refine: full geometric validation of every candidate.
   std::vector<PointId> result;
@@ -28,17 +29,13 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
   }
   std::sort(result.begin(), result.end());
 
-  if (stats != nullptr) {
-    stats->candidates = candidates.size();
-    stats->results = result.size();
-    stats->candidate_hits = stats->results;
-    stats->index_node_accesses =
-        index_->stats().node_accesses - nodes_before;
-    stats->elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-  }
+  stats->candidates = candidates.size();
+  stats->results = result.size();
+  stats->candidate_hits = stats->results;
+  stats->index_node_accesses = filter_io.node_accesses;
+  stats->elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
   return result;
 }
 

@@ -20,8 +20,9 @@ class TraditionalAreaQuery : public AreaQuery {
   explicit TraditionalAreaQuery(const PointDatabase* db,
                                 const SpatialIndex* index = nullptr);
 
+  using AreaQuery::Run;
   std::vector<PointId> Run(const Polygon& area,
-                           QueryStats* stats) const override;
+                           QueryContext& ctx) const override;
   std::string_view Name() const override { return "traditional"; }
 
  private:

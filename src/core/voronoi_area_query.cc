@@ -35,86 +35,78 @@ bool VoronoiAreaQuery::CellIntersectsArea(PointId v,
 }
 
 std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
-                                           QueryStats* stats) const {
-  if (stats != nullptr) stats->Reset();
+                                           QueryContext& ctx) const {
+  QueryStats* stats = &ctx.stats;
+  stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t nodes_before = seed_index_->stats().node_accesses;
+  IndexStats& seed_io = ctx.ScratchIndexStats();
 
   const DelaunayTriangulation& dt = db_->delaunay();
   const std::size_t n = db_->size();
   std::vector<PointId> result;
   if (n == 0) return result;
 
-  // Epoch-marked visited set.
-  if (visited_epoch_.size() != n) visited_epoch_.assign(n, 0);
-  const std::uint32_t epoch = ++epoch_;
-  if (epoch == 0xFFFFFFFFu) {  // Paranoia: reset on wrap.
-    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
-  }
+  ctx.BeginVisitEpoch(n);
 
   // Line 3-4: seed = NN(P, arbitrary position in A).
   const Point seed_pos = area.InteriorPoint();
-  const PointId seed = seed_index_->NearestNeighbor(seed_pos);
+  const PointId seed = seed_index_->NearestNeighbor(seed_pos, &seed_io);
   if (seed == kInvalidPointId) return result;
 
   // P_candidate of Algorithm 1. Visit order does not affect the candidate
   // set (every visited point is validated exactly once), so a LIFO vector
   // is used instead of the paper's FIFO queue for cheaper bookkeeping.
-  std::vector<PointId> queue;
+  std::vector<PointId>& queue = ctx.ScratchQueue();
   queue.reserve(256);
   queue.push_back(seed);
-  visited_epoch_[seed] = epoch;
+  ctx.MarkVisited(seed);
 
   while (!queue.empty()) {
     const PointId p = queue.back();
     queue.pop_back();
-    if (stats != nullptr) ++stats->candidates;
+    ++stats->candidates;
     const Point& pp = db_->FetchPoint(p, stats);
     if (area.Contains(pp)) {
       // Internal point: all Voronoi neighbours become candidates.
       result.push_back(p);
       for (const PointId pn : dt.NeighborsOf(p)) {
-        if (visited_epoch_[pn] != epoch) {
-          visited_epoch_[pn] = epoch;
+        if (!ctx.Visited(pn)) {
+          ctx.MarkVisited(pn);
           queue.push_back(pn);
-          if (stats != nullptr) ++stats->neighbor_expansions;
+          ++stats->neighbor_expansions;
         }
       }
     } else {
       // Boundary point: only expand along edges that reach back into A.
       for (const PointId pn : dt.NeighborsOf(p)) {
-        if (visited_epoch_[pn] == epoch) continue;
+        if (ctx.Visited(pn)) continue;
         bool follow;
         if (options_.expansion == ExpansionRule::kPaperSegment) {
           // Intersects(line(p, pn), A) specialised for p outside A:
           // the segment meets A iff pn is inside or it crosses the ring.
           const Point& pnp = dt.point(pn);
-          if (stats != nullptr) ++stats->segment_tests;
+          ++stats->segment_tests;
           follow = area.Contains(pnp) ||
                    area.BoundaryIntersects(Segment{pp, pnp});
         } else {
           follow = CellIntersectsArea(pn, area);
         }
         if (follow) {
-          visited_epoch_[pn] = epoch;
+          ctx.MarkVisited(pn);
           queue.push_back(pn);
-          if (stats != nullptr) ++stats->neighbor_expansions;
+          ++stats->neighbor_expansions;
         }
       }
     }
   }
   std::sort(result.begin(), result.end());
 
-  if (stats != nullptr) {
-    stats->results = result.size();
-    stats->candidate_hits = stats->results;
-    stats->index_node_accesses =
-        seed_index_->stats().node_accesses - nodes_before;
-    stats->elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-  }
+  stats->results = result.size();
+  stats->candidate_hits = stats->results;
+  stats->index_node_accesses = seed_io.node_accesses;
+  stats->elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
   return result;
 }
 

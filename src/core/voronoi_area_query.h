@@ -48,8 +48,9 @@ class VoronoiAreaQuery : public AreaQuery {
   VoronoiAreaQuery(const PointDatabase* db, Options options,
                    const SpatialIndex* seed_index = nullptr);
 
+  using AreaQuery::Run;
   std::vector<PointId> Run(const Polygon& area,
-                           QueryStats* stats) const override;
+                           QueryContext& ctx) const override;
   std::string_view Name() const override {
     return options_.expansion == ExpansionRule::kPaperSegment
                ? "voronoi"
@@ -59,14 +60,12 @@ class VoronoiAreaQuery : public AreaQuery {
  private:
   bool CellIntersectsArea(PointId v, const Polygon& area) const;
 
+  // Stateless beyond construction-time configuration: the epoch-marked
+  // visited set and candidate queue live in the caller's `QueryContext`,
+  // so one instance can serve concurrent queries.
   const PointDatabase* db_;
   Options options_;
   const SpatialIndex* seed_index_;
-
-  // Epoch-marked visited set reused across queries (avoids an O(n)
-  // allocation per query on million-point databases).
-  mutable std::vector<std::uint32_t> visited_epoch_;
-  mutable std::uint32_t epoch_ = 0;
 };
 
 }  // namespace vaq

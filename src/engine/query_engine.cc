@@ -1,0 +1,188 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace vaq {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+/// Per-worker cap on retained latency samples; reaching it halves the
+/// samples and doubles the recording stride (see WorkerState).
+constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+}  // namespace
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+  int n = options.num_threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+
+  window_start_ = std::chrono::steady_clock::now();
+  states_.reserve(n);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  // Start the pool only after every WorkerState exists: workers index only
+  // their own state, handed to them here.
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&QueryEngine::WorkerLoop, this, states_[i].get());
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  queue_.Close();
+  for (std::thread& t : workers_) t.join();
+}
+
+int QueryEngine::RegisterMethod(const AreaQuery* query) {
+  std::lock_guard<std::mutex> lock(methods_mu_);
+  methods_.push_back(query);
+  return static_cast<int>(methods_.size()) - 1;
+}
+
+std::future<QueryResult> QueryEngine::Submit(Polygon area, int method) {
+  const AreaQuery* query;
+  {
+    std::lock_guard<std::mutex> lock(methods_mu_);
+    if (method < 0 || method >= static_cast<int>(methods_.size())) {
+      throw std::out_of_range("QueryEngine::Submit: unknown method id");
+    }
+    query = methods_[method];
+  }
+  Task task;
+  task.area = std::move(area);
+  task.query = query;
+  task.method = method;
+  task.submitted = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!queue_.Push(std::move(task))) {
+    throw std::runtime_error("QueryEngine::Submit: engine is shut down");
+  }
+  return future;
+}
+
+std::vector<QueryResult> QueryEngine::RunBatch(std::span<const Polygon> areas,
+                                               int method) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(areas.size());
+  for (const Polygon& area : areas) futures.push_back(Submit(area, method));
+  std::vector<QueryResult> results;
+  results.reserve(areas.size());
+  for (std::future<QueryResult>& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void QueryEngine::WorkerLoop(WorkerState* state) {
+  while (std::optional<Task> task = queue_.Pop()) {
+    QueryResult result;
+    try {
+      result.ids = task->query->Run(task->area, state->ctx);
+    } catch (...) {
+      // A throwing query must not take down the pool (std::terminate) or
+      // strand the caller on an unset future.
+      task->promise.set_exception(std::current_exception());
+      continue;
+    }
+    result.stats = state->ctx.stats;
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - task->submitted)
+            .count();
+
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->completed;
+      if (state->completed % state->latency_stride == 0) {
+        state->latencies_ms.push_back(latency_ms);
+        if (state->latencies_ms.size() >= kMaxLatencySamples) {
+          // Decimate: keep every other sample, record half as often.
+          std::vector<double>& samples = state->latencies_ms;
+          for (std::size_t i = 1; 2 * i < samples.size(); ++i) {
+            samples[i] = samples[2 * i];
+          }
+          samples.resize(samples.size() / 2);
+          state->latency_stride *= 2;
+        }
+      }
+      if (state->methods.size() <= static_cast<std::size_t>(task->method)) {
+        state->methods.resize(task->method + 1);
+      }
+      MethodEngineStats& m = state->methods[task->method];
+      if (m.name.empty()) m.name = std::string(task->query->Name());
+      ++m.queries;
+      m.candidates += result.stats.candidates;
+      m.geometry_loads += result.stats.geometry_loads;
+      m.index_node_accesses += result.stats.index_node_accesses;
+      m.neighbor_expansions += result.stats.neighbor_expansions;
+      m.total_query_ms += result.stats.elapsed_ms;
+    }
+    task->promise.set_value(std::move(result));
+  }
+}
+
+EngineStats QueryEngine::Stats() const {
+  EngineStats out;
+  std::vector<double> latencies;
+  for (const std::unique_ptr<WorkerState>& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    out.queries_completed += state->completed;
+    latencies.insert(latencies.end(), state->latencies_ms.begin(),
+                     state->latencies_ms.end());
+    if (out.methods.size() < state->methods.size()) {
+      out.methods.resize(state->methods.size());
+    }
+    for (std::size_t i = 0; i < state->methods.size(); ++i) {
+      const MethodEngineStats& m = state->methods[i];
+      MethodEngineStats& agg = out.methods[i];
+      if (agg.name.empty()) agg.name = m.name;
+      agg.queries += m.queries;
+      agg.candidates += m.candidates;
+      agg.geometry_loads += m.geometry_loads;
+      agg.index_node_accesses += m.index_node_accesses;
+      agg.neighbor_expansions += m.neighbor_expansions;
+      agg.total_query_ms += m.total_query_ms;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - window_start_)
+                      .count();
+  }
+  if (out.wall_ms > 0.0) {
+    out.throughput_qps =
+        static_cast<double>(out.queries_completed) / (out.wall_ms / 1000.0);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  out.latency_p50_ms = Percentile(latencies, 0.50);
+  out.latency_p95_ms = Percentile(latencies, 0.95);
+  out.latency_p99_ms = Percentile(latencies, 0.99);
+  return out;
+}
+
+void QueryEngine::ResetStats() {
+  for (const std::unique_ptr<WorkerState>& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->completed = 0;
+    state->latency_stride = 1;
+    state->latencies_ms.clear();
+    state->methods.clear();
+  }
+  std::lock_guard<std::mutex> lock(window_mu_);
+  window_start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace vaq

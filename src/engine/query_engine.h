@@ -1,0 +1,149 @@
+#ifndef VAQ_ENGINE_QUERY_ENGINE_H_
+#define VAQ_ENGINE_QUERY_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/area_query.h"
+#include "core/query_context.h"
+#include "engine/bounded_queue.h"
+#include "geometry/polygon.h"
+
+namespace vaq {
+
+struct EngineOptions {
+  /// Worker thread count; 0 means `std::thread::hardware_concurrency()`.
+  int num_threads = 0;
+  /// Bound of the MPMC work queue; `Submit` blocks (backpressure) when the
+  /// queue is full.
+  std::size_t queue_capacity = 1024;
+};
+
+/// Outcome of one engine-executed query.
+struct QueryResult {
+  std::vector<PointId> ids;
+  QueryStats stats;
+};
+
+/// Aggregated counters for one registered query method.
+struct MethodEngineStats {
+  std::string name;
+  std::uint64_t queries = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t geometry_loads = 0;
+  std::uint64_t index_node_accesses = 0;
+  std::uint64_t neighbor_expansions = 0;
+  double total_query_ms = 0.0;  // Sum of per-query execution times.
+};
+
+/// Snapshot of engine-level statistics since construction or the last
+/// `ResetStats()`.
+struct EngineStats {
+  std::uint64_t queries_completed = 0;
+  double wall_ms = 0.0;
+  double throughput_qps = 0.0;
+  /// End-to-end latency (submission to completion, including queue wait),
+  /// nearest-rank percentiles over all completed queries in the window.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  /// Per-method IO and work counters, indexed by registration order.
+  std::vector<MethodEngineStats> methods;
+};
+
+/// Executes area queries on a fixed pool of worker threads.
+///
+/// The engine is the concurrency boundary of the library: query objects
+/// are stateless and the `PointDatabase` is immutable after construction,
+/// so the only mutable per-query state is the `QueryContext` scratch arena
+/// — and the engine owns exactly one per worker thread. A context is
+/// reused across every query its worker executes, so steady-state
+/// execution allocates only result vectors.
+///
+/// Usage:
+///   QueryEngine engine({.num_threads = 4});
+///   const int voronoi = engine.RegisterMethod(&voronoi_query);
+///   auto results = engine.RunBatch(polygons, voronoi);   // blocking
+///   auto future  = engine.Submit(polygon, voronoi);      // async
+///
+/// Thread safety: `Submit`/`RunBatch`/`Stats` may be called from any
+/// thread. `RegisterMethod` must complete before queries that use the new
+/// method id are submitted. Do not call `RunBatch`/`Submit(...).wait()`
+/// from inside a worker (queries never enqueue queries).
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = {});
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Registers a query implementation (which must outlive the engine) and
+  /// returns its method id for `Submit`/`RunBatch`.
+  int RegisterMethod(const AreaQuery* query);
+
+  /// Enqueues one query; the future resolves with its result and stats.
+  /// Blocks while the work queue is full.
+  std::future<QueryResult> Submit(Polygon area, int method = 0);
+
+  /// Runs every polygon through `method` across the pool and returns the
+  /// results in input order — identical to running them sequentially,
+  /// whatever the thread interleaving (each query is independent and the
+  /// ids of each result are sorted).
+  std::vector<QueryResult> RunBatch(std::span<const Polygon> areas,
+                                    int method = 0);
+
+  /// Aggregated statistics since construction / last `ResetStats()`.
+  EngineStats Stats() const;
+  void ResetStats();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    Polygon area;
+    const AreaQuery* query;
+    int method;
+    std::chrono::steady_clock::time_point submitted;
+    std::promise<QueryResult> promise;
+  };
+
+  /// Counters a worker accumulates locally; folded into EngineStats under
+  /// the worker's own mutex so `Stats()` never blocks the whole pool.
+  ///
+  /// Latency samples are decimated once they reach a cap (keep every
+  /// other sample, double the recording stride), so an open-ended query
+  /// stream holds percentile memory bounded while the samples stay
+  /// uniformly spread over the stats window.
+  struct WorkerState {
+    std::mutex mu;
+    QueryContext ctx;  // Touched only by the owning worker.
+    std::uint64_t completed = 0;
+    std::uint64_t latency_stride = 1;  // Record every stride-th query.
+    std::vector<double> latencies_ms;
+    std::vector<MethodEngineStats> methods;
+  };
+
+  void WorkerLoop(WorkerState* state);
+
+  std::mutex methods_mu_;
+  std::vector<const AreaQuery*> methods_;
+
+  BoundedQueue<Task> queue_;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex window_mu_;
+  std::chrono::steady_clock::time_point window_start_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_ENGINE_QUERY_ENGINE_H_

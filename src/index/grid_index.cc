@@ -44,9 +44,9 @@ void GridIndex::Build(const std::vector<Point>& points) {
   }
 }
 
-void GridIndex::WindowQuery(const Box& window,
-                            std::vector<PointId>* out) const {
-  ++stats_.node_accesses;  // The grid directory itself.
+void GridIndex::WindowQuery(const Box& window, std::vector<PointId>* out,
+                            IndexStats* stats) const {
+  if (stats != nullptr) ++stats->node_accesses;  // The grid directory itself.
   if (points_.empty() || !window.Intersects(world_)) return;
   const int x0 = CellX(window.min.x);
   const int x1 = CellX(window.max.x);
@@ -54,11 +54,11 @@ void GridIndex::WindowQuery(const Box& window,
   const int y1 = CellY(window.max.y);
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) {
-      ++stats_.node_accesses;
+      if (stats != nullptr) ++stats->node_accesses;
       for (const PointId id : Cell(cx, cy)) {
         if (window.Contains(points_[id])) {
           out->push_back(id);
-          ++stats_.entries_reported;
+          if (stats != nullptr) ++stats->entries_reported;
         }
       }
     }
@@ -66,7 +66,8 @@ void GridIndex::WindowQuery(const Box& window,
 }
 
 void GridIndex::KNearestNeighbors(const Point& q, std::size_t k,
-                                  std::vector<PointId>* out) const {
+                                  std::vector<PointId>* out,
+                                  IndexStats* stats) const {
   if (points_.empty() || k == 0) return;
   // Ring expansion around the query's cell: scan cells at growing
   // Chebyshev radius r, stopping once the current k-th best distance beats
@@ -79,7 +80,7 @@ void GridIndex::KNearestNeighbors(const Point& q, std::size_t k,
   std::priority_queue<Candidate> heap;
   auto consider_cell = [&](int cx, int cy) {
     if (cx < 0 || cy < 0 || cx >= nx_ || cy >= ny_) return;
-    ++stats_.node_accesses;
+    if (stats != nullptr) ++stats->node_accesses;
     for (const PointId id : Cell(cx, cy)) {
       const double d = SquaredDistance(points_[id], q);
       if (heap.size() < k) {
@@ -118,13 +119,13 @@ void GridIndex::KNearestNeighbors(const Point& q, std::size_t k,
   }
   for (const Candidate& c : found) {
     out->push_back(c.second);
-    ++stats_.entries_reported;
+    if (stats != nullptr) ++stats->entries_reported;
   }
 }
 
-PointId GridIndex::NearestNeighbor(const Point& q) const {
+PointId GridIndex::NearestNeighbor(const Point& q, IndexStats* stats) const {
   std::vector<PointId> out;
-  KNearestNeighbors(q, 1, &out);
+  KNearestNeighbors(q, 1, &out, stats);
   return out.empty() ? kInvalidPointId : out[0];
 }
 

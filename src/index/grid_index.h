@@ -20,11 +20,13 @@ class GridIndex : public SpatialIndex {
 
   void Build(const std::vector<Point>& points) override;
   std::size_t size() const override { return points_.size(); }
-  void WindowQuery(const Box& window,
-                   std::vector<PointId>* out) const override;
-  PointId NearestNeighbor(const Point& q) const override;
+  void WindowQuery(const Box& window, std::vector<PointId>* out,
+                   IndexStats* stats = nullptr) const override;
+  PointId NearestNeighbor(const Point& q,
+                          IndexStats* stats = nullptr) const override;
   void KNearestNeighbors(const Point& q, std::size_t k,
-                         std::vector<PointId>* out) const override;
+                         std::vector<PointId>* out,
+                         IndexStats* stats = nullptr) const override;
   std::string_view Name() const override { return "grid"; }
 
  private:

@@ -51,13 +51,14 @@ std::int32_t KDTree::BuildRecursive(std::uint32_t begin, std::uint32_t end) {
   return node_id;
 }
 
-void KDTree::WindowQuery(const Box& window, std::vector<PointId>* out) const {
+void KDTree::WindowQuery(const Box& window, std::vector<PointId>* out,
+                         IndexStats* stats) const {
   if (root_ < 0) return;
   std::vector<std::int32_t> stack{root_};
   while (!stack.empty()) {
     const std::int32_t node_id = stack.back();
     stack.pop_back();
-    ++stats_.node_accesses;
+    if (stats != nullptr) ++stats->node_accesses;
     const Node& node = nodes_[node_id];
     if (!window.Intersects(node.bounds)) continue;
     if (node.left < 0) {
@@ -65,7 +66,7 @@ void KDTree::WindowQuery(const Box& window, std::vector<PointId>* out) const {
       for (std::uint32_t i = node.begin; i < node.end; ++i) {
         if (all_inside || window.Contains(points_[ids_[i]])) {
           out->push_back(ids_[i]);
-          ++stats_.entries_reported;
+          if (stats != nullptr) ++stats->entries_reported;
         }
       }
     } else {
@@ -85,7 +86,8 @@ struct QueueItem {
 }  // namespace
 
 void KDTree::KNearestNeighbors(const Point& q, std::size_t k,
-                               std::vector<PointId>* out) const {
+                               std::vector<PointId>* out,
+                               IndexStats* stats) const {
   if (root_ < 0 || k == 0) return;
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
   pq.push(QueueItem{nodes_[root_].bounds.SquaredDistanceTo(q), true, root_});
@@ -94,7 +96,7 @@ void KDTree::KNearestNeighbors(const Point& q, std::size_t k,
     const QueueItem item = pq.top();
     pq.pop();
     if (item.is_node) {
-      ++stats_.node_accesses;
+      if (stats != nullptr) ++stats->node_accesses;
       const Node& node = nodes_[item.id];
       if (node.left < 0) {
         for (std::uint32_t i = node.begin; i < node.end; ++i) {
@@ -109,15 +111,15 @@ void KDTree::KNearestNeighbors(const Point& q, std::size_t k,
       }
     } else {
       out->push_back(static_cast<PointId>(item.id));
-      ++stats_.entries_reported;
+      if (stats != nullptr) ++stats->entries_reported;
       ++found;
     }
   }
 }
 
-PointId KDTree::NearestNeighbor(const Point& q) const {
+PointId KDTree::NearestNeighbor(const Point& q, IndexStats* stats) const {
   std::vector<PointId> out;
-  KNearestNeighbors(q, 1, &out);
+  KNearestNeighbors(q, 1, &out, stats);
   return out.empty() ? kInvalidPointId : out[0];
 }
 

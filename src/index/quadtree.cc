@@ -90,8 +90,8 @@ void Quadtree::InsertInto(std::int32_t node_id, const Box& box,
   }
 }
 
-void Quadtree::WindowQuery(const Box& window,
-                           std::vector<PointId>* out) const {
+void Quadtree::WindowQuery(const Box& window, std::vector<PointId>* out,
+                           IndexStats* stats) const {
   if (root_ < 0) return;
   struct Frame {
     std::int32_t id;
@@ -103,13 +103,13 @@ void Quadtree::WindowQuery(const Box& window,
     stack.pop_back();
     // The root page is always read; children are pruned by their (derived)
     // quadrant boxes before being visited.
-    ++stats_.node_accesses;
+    if (stats != nullptr) ++stats->node_accesses;
     const Node& node = nodes_[f.id];
     if (node.leaf) {
       for (const Item& it : node.items) {
         if (window.Contains(it.point)) {
           out->push_back(it.id);
-          ++stats_.entries_reported;
+          if (stats != nullptr) ++stats->entries_reported;
         }
       }
     } else {
@@ -134,7 +134,8 @@ struct QueueItem {
 }  // namespace
 
 void Quadtree::KNearestNeighbors(const Point& q, std::size_t k,
-                                 std::vector<PointId>* out) const {
+                                 std::vector<PointId>* out,
+                                 IndexStats* stats) const {
   if (root_ < 0 || k == 0 || count_ == 0) return;
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
   pq.push(QueueItem{world_.SquaredDistanceTo(q), true, root_, world_});
@@ -143,7 +144,7 @@ void Quadtree::KNearestNeighbors(const Point& q, std::size_t k,
     const QueueItem item = pq.top();
     pq.pop();
     if (item.is_node) {
-      ++stats_.node_accesses;
+      if (stats != nullptr) ++stats->node_accesses;
       const Node& node = nodes_[item.id];
       if (node.leaf) {
         for (const Item& it : node.items) {
@@ -159,15 +160,15 @@ void Quadtree::KNearestNeighbors(const Point& q, std::size_t k,
       }
     } else {
       out->push_back(static_cast<PointId>(item.id));
-      ++stats_.entries_reported;
+      if (stats != nullptr) ++stats->entries_reported;
       ++found;
     }
   }
 }
 
-PointId Quadtree::NearestNeighbor(const Point& q) const {
+PointId Quadtree::NearestNeighbor(const Point& q, IndexStats* stats) const {
   std::vector<PointId> out;
-  KNearestNeighbors(q, 1, &out);
+  KNearestNeighbors(q, 1, &out, stats);
   return out.empty() ? kInvalidPointId : out[0];
 }
 

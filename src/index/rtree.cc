@@ -310,19 +310,20 @@ void RTree::Insert(const Point& p, PointId id) {
   ++count_;
 }
 
-void RTree::WindowQuery(const Box& window, std::vector<PointId>* out) const {
+void RTree::WindowQuery(const Box& window, std::vector<PointId>* out,
+                        IndexStats* stats) const {
   if (root_ < 0) return;
   std::vector<std::int32_t> stack{root_};
   while (!stack.empty()) {
     const std::int32_t node_id = stack.back();
     stack.pop_back();
-    ++stats_.node_accesses;
+    if (stats != nullptr) ++stats->node_accesses;
     const Node& node = nodes_[node_id];
     if (node.leaf) {
       for (const Entry& e : node.entries) {
         if (window.Contains(e.box.min)) {
           out->push_back(static_cast<PointId>(e.id));
-          ++stats_.entries_reported;
+          if (stats != nullptr) ++stats->entries_reported;
         }
       }
     } else {
@@ -343,7 +344,8 @@ struct QueueItem {
 }  // namespace
 
 void RTree::KNearestNeighbors(const Point& q, std::size_t k,
-                              std::vector<PointId>* out) const {
+                              std::vector<PointId>* out,
+                              IndexStats* stats) const {
   if (root_ < 0 || k == 0) return;
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
   pq.push(QueueItem{nodes_[root_].bounds.SquaredDistanceTo(q), true, root_});
@@ -352,7 +354,7 @@ void RTree::KNearestNeighbors(const Point& q, std::size_t k,
     const QueueItem item = pq.top();
     pq.pop();
     if (item.is_node) {
-      ++stats_.node_accesses;
+      if (stats != nullptr) ++stats->node_accesses;
       const Node& node = nodes_[item.id];
       if (node.leaf) {
         for (const Entry& e : node.entries) {
@@ -365,15 +367,15 @@ void RTree::KNearestNeighbors(const Point& q, std::size_t k,
       }
     } else {
       out->push_back(static_cast<PointId>(item.id));
-      ++stats_.entries_reported;
+      if (stats != nullptr) ++stats->entries_reported;
       ++found;
     }
   }
 }
 
-PointId RTree::NearestNeighbor(const Point& q) const {
+PointId RTree::NearestNeighbor(const Point& q, IndexStats* stats) const {
   std::vector<PointId> out;
-  KNearestNeighbors(q, 1, &out);
+  KNearestNeighbors(q, 1, &out, stats);
   return out.empty() ? kInvalidPointId : out[0];
 }
 

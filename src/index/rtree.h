@@ -37,11 +37,13 @@ class RTree : public SpatialIndex {
 
   void Build(const std::vector<Point>& points) override;
   std::size_t size() const override { return count_; }
-  void WindowQuery(const Box& window,
-                   std::vector<PointId>* out) const override;
-  PointId NearestNeighbor(const Point& q) const override;
+  void WindowQuery(const Box& window, std::vector<PointId>* out,
+                   IndexStats* stats = nullptr) const override;
+  PointId NearestNeighbor(const Point& q,
+                          IndexStats* stats = nullptr) const override;
   void KNearestNeighbors(const Point& q, std::size_t k,
-                         std::vector<PointId>* out) const override;
+                         std::vector<PointId>* out,
+                         IndexStats* stats = nullptr) const override;
   std::string_view Name() const override { return "rtree"; }
 
   /// Dynamic insert (Guttman). Usable to grow a bulk-loaded tree.

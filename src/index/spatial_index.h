@@ -22,6 +22,12 @@ inline constexpr PointId kInvalidPointId = 0xFFFFFFFFu;
 /// every visited index node counts as one page access, every reported entry
 /// as one object fetch. The paper's framing of area queries as IO-intensive
 /// makes these the fairest cost proxy alongside wall-clock time.
+///
+/// Accounting is per call: pass an `IndexStats*` to a query operation and
+/// it is incremented (not reset) by that operation. Keeping the counters
+/// caller-owned — rather than a mutable member of the index — is what lets
+/// one index instance serve concurrent queries without a data race; each
+/// `QueryContext` carries its own instance.
 struct IndexStats {
   std::uint64_t node_accesses = 0;
   std::uint64_t entries_reported = 0;
@@ -35,6 +41,10 @@ struct IndexStats {
 /// operations from this interface: `WindowQuery` (the traditional filter)
 /// and `NearestNeighbor` (the Voronoi method's seed lookup). The other
 /// operations round out the library and power the ablation benchmarks.
+///
+/// All query operations are const and touch no shared mutable state, so a
+/// built index may be queried from any number of threads concurrently.
+/// `Build`/insert operations are not thread-safe against queries.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -47,29 +57,24 @@ class SpatialIndex {
   virtual std::size_t size() const = 0;
 
   /// Appends the ids of all points inside `window` (borders inclusive)
-  /// to `out`, in unspecified order.
-  virtual void WindowQuery(const Box& window,
-                           std::vector<PointId>* out) const = 0;
+  /// to `out`, in unspecified order. If `stats` is non-null, the call's IO
+  /// counters are added to it.
+  virtual void WindowQuery(const Box& window, std::vector<PointId>* out,
+                           IndexStats* stats = nullptr) const = 0;
 
   /// Returns the id of the point closest to `q` (ties broken arbitrarily),
   /// or `kInvalidPointId` if the index is empty.
-  virtual PointId NearestNeighbor(const Point& q) const = 0;
+  virtual PointId NearestNeighbor(const Point& q,
+                                  IndexStats* stats = nullptr) const = 0;
 
   /// Appends the ids of the `k` points closest to `q` to `out`, ordered by
   /// increasing distance. Returns fewer if the index holds fewer points.
   virtual void KNearestNeighbors(const Point& q, std::size_t k,
-                                 std::vector<PointId>* out) const = 0;
+                                 std::vector<PointId>* out,
+                                 IndexStats* stats = nullptr) const = 0;
 
   /// Human-readable index name for benchmark tables.
   virtual std::string_view Name() const = 0;
-
-  /// Access statistics accumulated since the last `ResetStats()`.
-  const IndexStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
-
- protected:
-  /// Mutable so const query paths can account their accesses.
-  mutable IndexStats stats_;
 };
 
 }  // namespace vaq

@@ -8,6 +8,7 @@
 #include "core/traditional_area_query.h"
 #include "core/voronoi_area_query.h"
 #include "delaunay/triangulation.h"
+#include "engine/query_engine.h"
 #include "index/rtree.h"
 #include "workload/rng.h"
 
@@ -36,6 +37,36 @@ void Finish(MethodAverages* avg, int reps) {
   avg->time_ms /= reps;
   avg->node_accesses /= reps;
   avg->geometry_loads /= reps;
+  if (avg->batch_wall_ms > 0.0) {
+    avg->throughput_qps = reps / (avg->batch_wall_ms / 1000.0);
+  }
+}
+
+std::vector<Polygon> GenerateQueryStream(const ExperimentConfig& config) {
+  // Query polygons come from a stream seeded independently of the data so
+  // the same queries hit different data sizes comparably.
+  Rng query_rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  PolygonSpec spec;
+  spec.vertices = config.polygon_vertices;
+  spec.query_size_fraction = config.query_size_fraction;
+  std::vector<Polygon> areas;
+  areas.reserve(config.repetitions);
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    areas.push_back(GenerateQueryPolygon(spec, kUnitDomain, &query_rng));
+  }
+  return areas;
+}
+
+/// Runs `areas` as one engine batch and folds the per-query stats into
+/// `avg`; returns the per-query results.
+std::vector<QueryResult> RunMethodBatch(QueryEngine& engine, int method,
+                                        std::span<const Polygon> areas,
+                                        MethodAverages* avg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<QueryResult> results = engine.RunBatch(areas, method);
+  avg->batch_wall_ms = MillisSince(t0);
+  for (const QueryResult& r : results) Accumulate(avg, r.stats);
+  return results;
 }
 
 }  // namespace
@@ -45,33 +76,35 @@ ExperimentRow RunExperimentOnDatabase(PointDatabase& db,
   ExperimentRow row;
   row.config = config;
   db.set_simulated_fetch_ns(config.simulated_fetch_ns);
+  db.set_fetch_latency_model(config.blocking_fetch
+                                 ? PointDatabase::FetchLatencyModel::kSleep
+                                 : PointDatabase::FetchLatencyModel::kBusyWait);
 
   const TraditionalAreaQuery traditional(&db);
   const VoronoiAreaQuery voronoi(&db);
   const BruteForceAreaQuery brute(&db);
 
-  // Query polygons come from a stream seeded independently of the data so
-  // the same queries hit different data sizes comparably.
-  Rng query_rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
-  PolygonSpec spec;
-  spec.vertices = config.polygon_vertices;
-  spec.query_size_fraction = config.query_size_fraction;
+  const std::vector<Polygon> areas = GenerateQueryStream(config);
 
-  QueryStats stats;
+  QueryEngine engine({.num_threads = config.num_threads,
+                      .queue_capacity =
+                          static_cast<std::size_t>(config.repetitions) + 1});
+  const int trad_id = engine.RegisterMethod(&traditional);
+  const int vaq_id = engine.RegisterMethod(&voronoi);
+
+  const std::vector<QueryResult> trad_results =
+      RunMethodBatch(engine, trad_id, areas, &row.traditional);
+  const std::vector<QueryResult> vaq_results =
+      RunMethodBatch(engine, vaq_id, areas, &row.voronoi);
+
   for (int rep = 0; rep < config.repetitions; ++rep) {
-    const Polygon area = GenerateQueryPolygon(spec, kUnitDomain, &query_rng);
-
-    const std::vector<PointId> trad_result = traditional.Run(area, &stats);
-    Accumulate(&row.traditional, stats);
-
-    const std::vector<PointId> vaq_result = voronoi.Run(area, &stats);
-    Accumulate(&row.voronoi, stats);
-
-    row.result_size += static_cast<double>(trad_result.size());
+    row.result_size += static_cast<double>(trad_results[rep].ids.size());
     if (config.verify) {
-      const std::vector<PointId> truth = brute.Run(area, nullptr);
-      if (trad_result != truth || vaq_result != truth) ++row.mismatches;
-    } else if (trad_result != vaq_result) {
+      const std::vector<PointId> truth = brute.Run(areas[rep]);
+      if (trad_results[rep].ids != truth || vaq_results[rep].ids != truth) {
+        ++row.mismatches;
+      }
+    } else if (trad_results[rep].ids != vaq_results[rep].ids) {
       ++row.mismatches;
     }
   }
@@ -100,6 +133,21 @@ ExperimentRow RunExperiment(const ExperimentConfig& config) {
   row.build_rtree_ms = rtree_ms;
   row.build_delaunay_ms = delaunay_ms;
   return row;
+}
+
+std::vector<ExperimentRow> RunThreadSweep(
+    const ExperimentConfig& config, const std::vector<int>& thread_counts) {
+  Rng data_rng(config.seed);
+  PointDatabase db(GeneratePoints(config.data_size, kUnitDomain,
+                                  config.distribution, &data_rng));
+  std::vector<ExperimentRow> rows;
+  rows.reserve(thread_counts.size());
+  for (const int threads : thread_counts) {
+    ExperimentConfig cell = config;
+    cell.num_threads = threads;
+    rows.push_back(RunExperimentOnDatabase(db, cell));
+  }
+  return rows;
 }
 
 void PrintPaperTable(const std::vector<ExperimentRow>& rows,
@@ -152,6 +200,26 @@ void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
     }
     os << "  " << r.traditional.redundant << "  " << r.voronoi.redundant
        << "\n";
+  }
+}
+
+void PrintThreadScalingTable(const std::vector<ExperimentRow>& rows,
+                             std::ostream& os) {
+  os << "Threads  |  Traditional: qps  speedup  |  Voronoi: qps  speedup\n";
+  const double trad_base =
+      rows.empty() ? 0.0 : rows.front().traditional.throughput_qps;
+  const double vaq_base =
+      rows.empty() ? 0.0 : rows.front().voronoi.throughput_qps;
+  for (const ExperimentRow& r : rows) {
+    os << std::fixed << std::setw(7) << r.config.num_threads << "  |"
+       << std::setw(18) << std::setprecision(1)
+       << r.traditional.throughput_qps << std::setw(9)
+       << std::setprecision(2)
+       << (trad_base > 0.0 ? r.traditional.throughput_qps / trad_base : 0.0)
+       << "x  |" << std::setw(14) << std::setprecision(1)
+       << r.voronoi.throughput_qps << std::setw(9) << std::setprecision(2)
+       << (vaq_base > 0.0 ? r.voronoi.throughput_qps / vaq_base : 0.0)
+       << "x\n";
   }
 }
 

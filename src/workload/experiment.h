@@ -27,15 +27,28 @@ struct ExperimentConfig {
   /// Simulated per-candidate object-fetch latency (see
   /// `PointDatabase::set_simulated_fetch_ns`). 0 = raw in-memory timing.
   double simulated_fetch_ns = 0.0;
+  /// Spend the simulated latency blocking (sleep) instead of spinning, so
+  /// concurrent queries overlap their IO waits. Only meaningful with
+  /// `simulated_fetch_ns > 0`; see `PointDatabase::FetchLatencyModel`.
+  bool blocking_fetch = false;
+  /// Worker threads of the `QueryEngine` the repetitions run through.
+  /// 1 reproduces the paper's sequential setting; the per-query averages
+  /// are thread-count independent (results are deterministic), only the
+  /// batch wall-clock and throughput change.
+  int num_threads = 1;
 };
 
-/// Per-method averages over the repetitions.
+/// Per-method averages over the repetitions, plus batch-level throughput.
 struct MethodAverages {
   double candidates = 0.0;
   double redundant = 0.0;
   double time_ms = 0.0;
   double node_accesses = 0.0;
   double geometry_loads = 0.0;
+  /// Wall-clock of the whole batch through the engine and the resulting
+  /// queries/second (equals repetitions / wall when the pool is saturated).
+  double batch_wall_ms = 0.0;
+  double throughput_qps = 0.0;
 };
 
 /// One row of Table I / Table II.
@@ -58,13 +71,20 @@ struct ExperimentRow {
 };
 
 /// Runs one experiment cell on an already-built database (non-const: the
-/// runner applies `config.simulated_fetch_ns` to the database).
+/// runner applies `config.simulated_fetch_ns` to the database). The
+/// repetitions execute as one batch per method through a `QueryEngine`
+/// with `config.num_threads` workers.
 ExperimentRow RunExperimentOnDatabase(PointDatabase& db,
                                       const ExperimentConfig& config);
 
 /// Generates the database from `config` (seeded), builds the structures and
 /// runs the cell. Build times are reported in the row.
 ExperimentRow RunExperiment(const ExperimentConfig& config);
+
+/// Runs the same cell at each thread count in `thread_counts` on one
+/// shared database (so rows differ only in parallelism).
+std::vector<ExperimentRow> RunThreadSweep(
+    const ExperimentConfig& config, const std::vector<int>& thread_counts);
 
 /// Pretty-prints rows in the layout of the paper's Table I (first column =
 /// data size) or Table II (first column = query size), selected by
@@ -76,6 +96,12 @@ void PrintPaperTable(const std::vector<ExperimentRow>& rows,
 /// redundant validations) as aligned columns.
 void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
                        bool vary_query_size, std::ostream& os);
+
+/// Prints a thread-scaling table for rows produced by `RunThreadSweep`:
+/// throughput of both methods per thread count and speedup vs. the first
+/// row.
+void PrintThreadScalingTable(const std::vector<ExperimentRow>& rows,
+                             std::ostream& os);
 
 }  // namespace vaq
 

@@ -121,17 +121,24 @@ TEST_P(IndexPropertyTest, KnnSortedAndConsistentWithBruteForce) {
   EXPECT_DOUBLE_EQ(SquaredDistance(points_[got.back()], query), dists[k - 1]);
 }
 
-TEST_P(IndexPropertyTest, StatsAccumulateAndReset) {
-  index_->ResetStats();
+TEST_P(IndexPropertyTest, StatsAccumulatePerCall) {
+  // IO counters are caller-owned: a passed IndexStats accumulates across
+  // calls, a null one means no accounting at all.
+  IndexStats stats;
   std::vector<PointId> got;
-  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got);
-  const std::uint64_t after_one = index_->stats().node_accesses;
+  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got, &stats);
+  const std::uint64_t after_one = stats.node_accesses;
   EXPECT_GT(after_one, 0u);
+  EXPECT_EQ(stats.entries_reported, got.size());
   got.clear();
-  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got);
-  EXPECT_GT(index_->stats().node_accesses, after_one);
-  index_->ResetStats();
-  EXPECT_EQ(index_->stats().node_accesses, 0u);
+  index_->WindowQuery(Box::FromExtents(0.2, 0.2, 0.8, 0.8), &got, &stats);
+  EXPECT_GT(stats.node_accesses, after_one);
+  stats.Reset();
+  EXPECT_EQ(stats.node_accesses, 0u);
+  got.clear();
+  // Null stats means no accounting — the query must still work.
+  index_->WindowQuery(Box::FromExtents(-1.0, -1.0, 2.0, 2.0), &got);
+  EXPECT_EQ(got.size(), index_->size());
 }
 
 std::string ParamName(const ::testing::TestParamInfo<Param>& info) {

@@ -1,0 +1,90 @@
+#include "core/query_context.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_area_query.h"
+#include "core/point_database.h"
+#include "core/voronoi_area_query.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+TEST(QueryContextTest, VisitEpochMarksAreScopedToOneEpoch) {
+  QueryContext ctx;
+  ctx.BeginVisitEpoch(10);
+  EXPECT_FALSE(ctx.Visited(3));
+  ctx.MarkVisited(3);
+  EXPECT_TRUE(ctx.Visited(3));
+  ctx.BeginVisitEpoch(10);
+  EXPECT_FALSE(ctx.Visited(3));  // New epoch invalidates old marks.
+}
+
+TEST(QueryContextTest, ResizingResetsMarks) {
+  QueryContext ctx;
+  ctx.BeginVisitEpoch(10);
+  ctx.MarkVisited(5);
+  ctx.BeginVisitEpoch(20);
+  EXPECT_FALSE(ctx.Visited(5));
+  ctx.BeginVisitEpoch(10);
+  EXPECT_FALSE(ctx.Visited(5));
+}
+
+TEST(QueryContextTest, EpochCounterWrapDoesNotAliasStaleMarks) {
+  // Regression for the epoch-wrap bug: after the uint32 epoch counter
+  // overflows, entries marked in earlier epochs (including the cleared
+  // value 0) must not read as visited in the new epoch.
+  QueryContext ctx;
+  ctx.SetEpochForTest(0xFFFFFFFEu);
+
+  ctx.BeginVisitEpoch(8);  // epoch -> 0xFFFFFFFF
+  ctx.MarkVisited(2);
+  EXPECT_TRUE(ctx.Visited(2));
+
+  ctx.BeginVisitEpoch(8);  // epoch wraps -> cleared, restarts at 1
+  EXPECT_FALSE(ctx.Visited(2)) << "stale mark aliased across the wrap";
+  EXPECT_FALSE(ctx.Visited(0)) << "cleared entries must read unvisited";
+  ctx.MarkVisited(4);
+  EXPECT_TRUE(ctx.Visited(4));
+
+  ctx.BeginVisitEpoch(8);  // And the epoch after the wrap behaves normally.
+  EXPECT_FALSE(ctx.Visited(4));
+}
+
+TEST(QueryContextTest, VoronoiQueryCorrectAcrossEpochWrap) {
+  // End-to-end version: a query executed right at the wrap must still
+  // return the exact result set (the seed bug made every point look
+  // already-visited, yielding an empty result).
+  Rng rng(99);
+  PointDatabase db(GenerateUniformPoints(500, kUnit, &rng));
+  const VoronoiAreaQuery vaq(&db);
+  const BruteForceAreaQuery brute(&db);
+
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.1;
+  const Polygon area = GenerateQueryPolygon(spec, kUnit, &rng);
+  const std::vector<PointId> truth = brute.Run(area);
+
+  QueryContext ctx;
+  ctx.SetEpochForTest(0xFFFFFFFDu);
+  for (int i = 0; i < 5; ++i) {  // Crosses 0xFFFFFFFF and the wrap to 1.
+    EXPECT_EQ(vaq.Run(area, ctx), truth) << "query " << i << " at the wrap";
+  }
+}
+
+TEST(QueryContextTest, ScratchBuffersComeBackCleared) {
+  QueryContext ctx;
+  ctx.ScratchQueue().push_back(7);
+  ctx.ScratchCandidates().push_back(8);
+  ctx.ScratchIndexStats().node_accesses = 9;
+  EXPECT_TRUE(ctx.ScratchQueue().empty());
+  EXPECT_TRUE(ctx.ScratchCandidates().empty());
+  EXPECT_EQ(ctx.ScratchIndexStats().node_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -159,13 +159,13 @@ TEST(RTreeTest, KnnMoreThanSizeReturnsAll) {
 TEST(RTreeTest, StatsCountNodeAccesses) {
   RTree tree;
   tree.Build(RandomPoints(10000, 11));
-  tree.ResetStats();
+  IndexStats stats;
   std::vector<PointId> out;
-  tree.WindowQuery(Box::FromExtents(0.4, 0.4, 0.6, 0.6), &out);
-  EXPECT_GT(tree.stats().node_accesses, 0u);
-  EXPECT_EQ(tree.stats().entries_reported, out.size());
-  tree.ResetStats();
-  EXPECT_EQ(tree.stats().node_accesses, 0u);
+  tree.WindowQuery(Box::FromExtents(0.4, 0.4, 0.6, 0.6), &out, &stats);
+  EXPECT_GT(stats.node_accesses, 0u);
+  EXPECT_EQ(stats.entries_reported, out.size());
+  stats.Reset();
+  EXPECT_EQ(stats.node_accesses, 0u);
 }
 
 TEST(RTreeTest, DuplicateCoordinatesSupported) {
