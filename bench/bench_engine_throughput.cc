@@ -7,10 +7,13 @@
 // the thread count even on a single core; the RAW (in-memory, CPU-bound)
 // sweep is also printed for contrast and only scales with physical cores.
 //
-// Usage: bench_engine_throughput [--quick]
+// Usage: bench_engine_throughput [--quick] [--json]
 //   --quick: smaller database and fewer queries (CI smoke run).
+//   --json: additionally write both sweeps to BENCH_engine.json in the
+//   working directory, for trajectory tracking.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -18,7 +21,12 @@
 
 int main(int argc, char** argv) {
   using namespace vaq;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
 
   ExperimentConfig config;
   config.data_size = quick ? 20000 : 200000;
@@ -27,16 +35,34 @@ int main(int argc, char** argv) {
   config.seed = 20200101;
 
   const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<ExperimentRow> all_rows;
 
   std::cout << "=== Engine throughput: IO MODEL (blocking, 20us/fetch) ===\n";
   config.simulated_fetch_ns = 20000.0;
   config.blocking_fetch = true;
-  PrintThreadScalingTable(RunThreadSweep(config, thread_counts), std::cout);
+  {
+    const std::vector<ExperimentRow> rows =
+        RunThreadSweep(config, thread_counts);
+    PrintThreadScalingTable(rows, std::cout);
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  }
 
   std::cout << "\n=== Engine throughput: RAW (in-memory, CPU-bound) ===\n";
   config.simulated_fetch_ns = 0.0;
   config.blocking_fetch = false;
-  PrintThreadScalingTable(RunThreadSweep(config, thread_counts), std::cout);
+  {
+    const std::vector<ExperimentRow> rows =
+        RunThreadSweep(config, thread_counts);
+    PrintThreadScalingTable(rows, std::cout);
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_engine.json");
+    WriteRowsJson(all_rows, out);
+    std::cout << "\nwrote BENCH_engine.json (" << all_rows.size()
+              << " rows)\n";
+  }
 
   std::cout << "\n(IO-model rows are the paper-faithful regime; expect "
                "near-linear scaling.\n RAW rows are bounded by physical "

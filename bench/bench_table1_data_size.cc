@@ -10,14 +10,17 @@
 // Candidate / redundant-validation counts are identical across models and
 // are the paper's primary effect (Fig. 5).
 //
-// Usage: bench_table1_data_size [--quick] [--threads]
+// Usage: bench_table1_data_size [--quick] [--threads] [--json]
 //   --quick: 3 data sizes, 20 repetitions (CI smoke run). Default: the
 //   paper's full 10 sizes at 100 repetitions.
 //   --threads: additionally re-run every row through the QueryEngine at
 //   1/2/4/8 worker threads and print a thread-scaling table per row
 //   (blocking IO model, so the scaling is visible on any core count).
+//   --json: additionally write every row (RAW + IO model) to
+//   BENCH_table1.json in the working directory, for trajectory tracking.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -27,9 +30,11 @@ int main(int argc, char** argv) {
   using namespace vaq;
   bool quick = false;
   bool threads = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--threads") == 0) threads = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
 
   std::vector<std::size_t> data_sizes;
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   }
   const int reps = quick ? 20 : 100;
 
+  std::vector<ExperimentRow> all_rows;
   for (const double fetch_ns : {0.0, 1000.0}) {
     std::vector<ExperimentRow> rows;
     for (const std::size_t n : data_sizes) {
@@ -60,6 +66,14 @@ int main(int argc, char** argv) {
     for (const ExperimentRow& r : rows) mismatches += r.mismatches;
     std::cout << "result-set mismatches between methods: " << mismatches
               << "\n";
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_table1.json");
+    WriteRowsJson(all_rows, out);
+    std::cout << "\nwrote BENCH_table1.json (" << all_rows.size()
+              << " rows)\n";
   }
 
   if (threads) {

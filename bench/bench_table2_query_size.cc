@@ -3,12 +3,15 @@
 // domain (data size fixed at 1E5 points). See bench_table1_data_size.cc
 // for the two timing models.
 //
-// Usage: bench_table2_query_size [--quick] [--threads]
+// Usage: bench_table2_query_size [--quick] [--threads] [--json]
 //   --threads: additionally re-run every row through the QueryEngine at
 //   1/2/4/8 worker threads and print a thread-scaling table per row
 //   (blocking IO model, so the scaling is visible on any core count).
+//   --json: additionally write every row (RAW + IO model) to
+//   BENCH_table2.json in the working directory, for trajectory tracking.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -18,15 +21,18 @@ int main(int argc, char** argv) {
   using namespace vaq;
   bool quick = false;
   bool threads = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--threads") == 0) threads = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
   const std::vector<double> query_sizes =
       quick ? std::vector<double>{0.01, 0.08, 0.32}
             : std::vector<double>{0.01, 0.02, 0.04, 0.08, 0.16, 0.32};
   const int reps = quick ? 20 : 100;
 
+  std::vector<ExperimentRow> all_rows;
   for (const double fetch_ns : {0.0, 1000.0}) {
     std::vector<ExperimentRow> rows;
     for (const double qs : query_sizes) {
@@ -47,6 +53,14 @@ int main(int argc, char** argv) {
     for (const ExperimentRow& r : rows) mismatches += r.mismatches;
     std::cout << "result-set mismatches between methods: " << mismatches
               << "\n";
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_table2.json");
+    WriteRowsJson(all_rows, out);
+    std::cout << "\nwrote BENCH_table2.json (" << all_rows.size()
+              << " rows)\n";
   }
 
   if (threads) {

@@ -9,6 +9,11 @@ std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
   QueryStats* stats = &ctx.stats;
   stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
+  // Deliberately *not* accelerated with a PreparedArea: this scan is the
+  // ground truth every equivalence test and mismatch counter compares the
+  // other methods against, so it must stay independent of the structure
+  // those methods validate through — a shared PreparedArea bug would
+  // otherwise fail every method identically and go unseen.
   std::vector<PointId> result;
   const std::size_t n = db_->size();
   for (PointId id = 0; id < n; ++id) {

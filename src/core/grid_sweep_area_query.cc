@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "geometry/prepared_area.h"
+
 namespace vaq {
 
 GridSweepAreaQuery::GridSweepAreaQuery(const PointDatabase* db,
@@ -40,6 +42,11 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
   QueryStats* stats = &ctx.stats;
   stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
+  // Boundary-cell buckets validate roughly the MBR's share of the points;
+  // that estimate sizes the prepared grid.
+  const PreparedArea& prep = ctx.Prepared(
+      area,
+      PreparedArea::EstimateMbrShare(db_->size(), world_, area.Bounds()));
   std::vector<PointId> result;
 
   const Box window = Box::Intersection(area.Bounds(), world_);
@@ -63,28 +70,47 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
         if (bucket.empty()) continue;
         ++stats->index_node_accesses;
         const Box cell = CellBox(cx, cy);
-        if (area.ContainsBox(cell)) {
-          // Interior cell: accept wholesale. The records are still fetched
-          // (they must be returned) but no validation happens.
-          for (const PointId id : bucket) {
-            db_->FetchPoint(id, stats);
-            result.push_back(id);
-          }
-        } else if (area.IntersectsBox(cell)) {
-          // Boundary cell: validate point by point.
-          for (const PointId id : bucket) {
-            ++stats->candidates;
-            const Point& p = db_->FetchPoint(id, stats);
-            if (area.Contains(p)) {
+        switch (prep.ClassifyBox(cell)) {
+          case PreparedArea::Region::kOutside:
+            break;
+          case PreparedArea::Region::kInside:
+            // Interior cell: accept wholesale. The records are still
+            // fetched (they must be returned) but no validation happens.
+            for (const PointId id : bucket) {
+              db_->FetchPoint(id, stats);
               result.push_back(id);
-              ++stats->candidate_hits;
             }
-          }
+            stats->bulk_accepted += bucket.size();
+            break;
+          case PreparedArea::Region::kStraddling:
+            // The O(1) classification is conservative near the boundary
+            // band; the exact box tests recover the wholesale accept (and
+            // the outright reject) for cells the band merely grazes.
+            if (area.ContainsBox(cell)) {
+              for (const PointId id : bucket) {
+                db_->FetchPoint(id, stats);
+                result.push_back(id);
+              }
+              stats->bulk_accepted += bucket.size();
+              break;
+            }
+            if (!area.IntersectsBox(cell)) break;
+            // Boundary cell: validate point by point (O(1) away from the
+            // boundary band, locally exact inside it).
+            for (const PointId id : bucket) {
+              ++stats->candidates;
+              const Point& p = db_->FetchPoint(id, stats);
+              if (prep.Contains(p)) {
+                result.push_back(id);
+                ++stats->candidate_hits;
+              }
+            }
+            break;
         }
       }
     }
   }
-  std::sort(result.begin(), result.end());
+  ctx.SortIds(result, db_->size());
 
   stats->results = result.size();
   stats->elapsed_ms = std::chrono::duration<double, std::milli>(

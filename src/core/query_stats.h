@@ -25,6 +25,10 @@ struct QueryStats {
   std::uint64_t index_node_accesses = 0;
   std::uint64_t neighbor_expansions = 0;
   std::uint64_t segment_tests = 0;
+  /// Results accepted wholesale without a per-point geometric test: points
+  /// of index subtrees / grid cells whose MBR the `PreparedArea` classified
+  /// as fully inside the query polygon.
+  std::uint64_t bulk_accepted = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -47,6 +51,7 @@ struct QueryStats {
     index_node_accesses += o.index_node_accesses;
     neighbor_expansions += o.neighbor_expansions;
     segment_tests += o.segment_tests;
+    bulk_accepted += o.bulk_accepted;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "geometry/prepared_area.h"
 #include "geometry/segment.h"
 
 namespace vaq {
@@ -18,7 +19,7 @@ VoronoiAreaQuery::VoronoiAreaQuery(const PointDatabase* db, Options options,
 }
 
 bool VoronoiAreaQuery::CellIntersectsArea(PointId v,
-                                          const Polygon& area) const {
+                                          const PreparedArea& area) const {
   const VoronoiDiagram& vd = db_->voronoi();
   const std::vector<Point>& ring = vd.cell(v);
   if (ring.size() < 3) return false;
@@ -26,7 +27,7 @@ bool VoronoiAreaQuery::CellIntersectsArea(PointId v,
   // polygon, a polygon vertex is inside the cell, or boundaries cross. The
   // edge test below covers all three but full mutual containment, which the
   // two point-in checks handle.
-  if (vd.CellContains(v, area.vertex(0))) return true;
+  if (vd.CellContains(v, area.polygon().vertex(0))) return true;
   for (std::size_t i = 0; i < ring.size(); ++i) {
     const Segment cell_edge{ring[i], ring[(i + 1) % ring.size()]};
     if (area.Intersects(cell_edge)) return true;
@@ -41,17 +42,35 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
   const auto t0 = std::chrono::steady_clock::now();
   IndexStats& seed_io = ctx.ScratchIndexStats();
 
+  std::vector<PointId> result;
+  // Every exit — including the empty-database and invalid-seed early
+  // returns — funnels through this epilogue so the stats slot is never
+  // left half-filled after the Reset() above.
+  const auto finish = [&]() -> std::vector<PointId> {
+    ctx.SortIds(result, db_->size());
+    stats->results = result.size();
+    stats->candidate_hits = stats->results;
+    stats->index_node_accesses = seed_io.node_accesses;
+    stats->elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    return std::move(result);
+  };
+
   const DelaunayTriangulation& dt = db_->delaunay();
   const std::size_t n = db_->size();
-  std::vector<PointId> result;
-  if (n == 0) return result;
+  if (n == 0) return finish();
 
   ctx.BeginVisitEpoch(n);
+  // The flood validates roughly the MBR's share of the database (results
+  // plus a boundary shell); that estimate sizes the prepared grid.
+  const PreparedArea& prep = ctx.Prepared(
+      area, PreparedArea::EstimateMbrShare(n, db_->bounds(), area.Bounds()));
 
   // Line 3-4: seed = NN(P, arbitrary position in A).
   const Point seed_pos = area.InteriorPoint();
   const PointId seed = seed_index_->NearestNeighbor(seed_pos, &seed_io);
-  if (seed == kInvalidPointId) return result;
+  if (seed == kInvalidPointId) return finish();
 
   // P_candidate of Algorithm 1. Visit order does not affect the candidate
   // set (every visited point is validated exactly once), so a LIFO vector
@@ -66,7 +85,7 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
     queue.pop_back();
     ++stats->candidates;
     const Point& pp = db_->FetchPoint(p, stats);
-    if (area.Contains(pp)) {
+    if (prep.Contains(pp)) {
       // Internal point: all Voronoi neighbours become candidates.
       result.push_back(p);
       for (const PointId pn : dt.NeighborsOf(p)) {
@@ -86,10 +105,10 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
           // the segment meets A iff pn is inside or it crosses the ring.
           const Point& pnp = dt.point(pn);
           ++stats->segment_tests;
-          follow = area.Contains(pnp) ||
-                   area.BoundaryIntersects(Segment{pp, pnp});
+          follow = prep.Contains(pnp) ||
+                   prep.BoundaryIntersects(Segment{pp, pnp});
         } else {
-          follow = CellIntersectsArea(pn, area);
+          follow = CellIntersectsArea(pn, prep);
         }
         if (follow) {
           ctx.MarkVisited(pn);
@@ -99,15 +118,7 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
       }
     }
   }
-  std::sort(result.begin(), result.end());
-
-  stats->results = result.size();
-  stats->candidate_hits = stats->results;
-  stats->index_node_accesses = seed_io.node_accesses;
-  stats->elapsed_ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-  return result;
+  return finish();
 }
 
 }  // namespace vaq

@@ -58,7 +58,7 @@ class VoronoiAreaQuery : public AreaQuery {
   }
 
  private:
-  bool CellIntersectsArea(PointId v, const Polygon& area) const;
+  bool CellIntersectsArea(PointId v, const PreparedArea& area) const;
 
   // Stateless beyond construction-time configuration: the epoch-marked
   // visited set and candidate queue live in the caller's `QueryContext`,

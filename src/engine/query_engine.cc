@@ -127,6 +127,7 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.geometry_loads += result.stats.geometry_loads;
       m.index_node_accesses += result.stats.index_node_accesses;
       m.neighbor_expansions += result.stats.neighbor_expansions;
+      m.bulk_accepted += result.stats.bulk_accepted;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -153,6 +154,7 @@ EngineStats QueryEngine::Stats() const {
       agg.geometry_loads += m.geometry_loads;
       agg.index_node_accesses += m.index_node_accesses;
       agg.neighbor_expansions += m.neighbor_expansions;
+      agg.bulk_accepted += m.bulk_accepted;
       agg.total_query_ms += m.total_query_ms;
     }
   }

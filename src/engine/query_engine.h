@@ -40,6 +40,9 @@ struct MethodEngineStats {
   std::uint64_t geometry_loads = 0;
   std::uint64_t index_node_accesses = 0;
   std::uint64_t neighbor_expansions = 0;
+  /// Results accepted without per-point validation (subtrees/cells whose
+  /// MBR the prepared polygon classified fully inside).
+  std::uint64_t bulk_accepted = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 

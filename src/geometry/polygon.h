@@ -37,6 +37,11 @@ class Polygon {
     return Segment(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
   }
 
+  /// The cached MBR of the i-th edge (the per-edge fast-reject box the
+  /// containment and intersection tests gate on; `PreparedArea` reuses it
+  /// for its residual local tests).
+  const Box& edge_bounds(std::size_t i) const { return edge_bounds_[i]; }
+
   /// The (cached) minimum bounding rectangle — exactly what the traditional
   /// area query feeds to the window-query filter.
   const Box& Bounds() const { return bounds_; }

@@ -29,6 +29,7 @@ void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->time_ms += stats.elapsed_ms;
   avg->node_accesses += static_cast<double>(stats.index_node_accesses);
   avg->geometry_loads += static_cast<double>(stats.geometry_loads);
+  avg->bulk_accepted += static_cast<double>(stats.bulk_accepted);
 }
 
 void Finish(MethodAverages* avg, int reps) {
@@ -37,6 +38,7 @@ void Finish(MethodAverages* avg, int reps) {
   avg->time_ms /= reps;
   avg->node_accesses /= reps;
   avg->geometry_loads /= reps;
+  avg->bulk_accepted /= reps;
   if (avg->batch_wall_ms > 0.0) {
     avg->throughput_qps = reps / (avg->batch_wall_ms / 1000.0);
   }
@@ -201,6 +203,45 @@ void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
     os << "  " << r.traditional.redundant << "  " << r.voronoi.redundant
        << "\n";
   }
+}
+
+namespace {
+
+void WriteMethodJson(const MethodAverages& m, std::ostream& os) {
+  os << "{\"candidates\": " << m.candidates
+     << ", \"redundant\": " << m.redundant << ", \"time_ms\": " << m.time_ms
+     << ", \"node_accesses\": " << m.node_accesses
+     << ", \"geometry_loads\": " << m.geometry_loads
+     << ", \"bulk_accepted\": " << m.bulk_accepted
+     << ", \"batch_wall_ms\": " << m.batch_wall_ms
+     << ", \"throughput_qps\": " << m.throughput_qps << "}";
+}
+
+}  // namespace
+
+void WriteRowsJson(const std::vector<ExperimentRow>& rows, std::ostream& os) {
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ExperimentRow& r = rows[i];
+    os << "  {\"data_size\": " << r.config.data_size
+       << ", \"query_size_fraction\": " << r.config.query_size_fraction
+       << ", \"repetitions\": " << r.config.repetitions
+       << ", \"polygon_vertices\": " << r.config.polygon_vertices
+       << ", \"simulated_fetch_ns\": " << r.config.simulated_fetch_ns
+       << ", \"blocking_fetch\": "
+       << (r.config.blocking_fetch ? "true" : "false")
+       << ", \"num_threads\": " << r.config.num_threads
+       << ", \"result_size\": " << r.result_size
+       << ", \"mismatches\": " << r.mismatches
+       << ", \"build_rtree_ms\": " << r.build_rtree_ms
+       << ", \"build_delaunay_ms\": " << r.build_delaunay_ms
+       << ",\n   \"traditional\": ";
+    WriteMethodJson(r.traditional, os);
+    os << ",\n   \"voronoi\": ";
+    WriteMethodJson(r.voronoi, os);
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
 }
 
 void PrintThreadScalingTable(const std::vector<ExperimentRow>& rows,

@@ -45,6 +45,9 @@ struct MethodAverages {
   double time_ms = 0.0;
   double node_accesses = 0.0;
   double geometry_loads = 0.0;
+  /// Results bulk-accepted without per-point validation (see
+  /// `QueryStats::bulk_accepted`).
+  double bulk_accepted = 0.0;
   /// Wall-clock of the whole batch through the engine and the resulting
   /// queries/second (equals repetitions / wall when the pool is saturated).
   double batch_wall_ms = 0.0;
@@ -102,6 +105,12 @@ void PrintFigureSeries(const std::vector<ExperimentRow>& rows,
 /// row.
 void PrintThreadScalingTable(const std::vector<ExperimentRow>& rows,
                              std::ostream& os);
+
+/// Serialises rows as a JSON array for machine-readable benchmark
+/// trajectories (`BENCH_*.json` artifacts; see the benches' `--json`
+/// flag). One object per row: the experiment knobs plus per-method
+/// averages.
+void WriteRowsJson(const std::vector<ExperimentRow>& rows, std::ostream& os);
 
 }  // namespace vaq
 

@@ -1,0 +1,225 @@
+// Prepared-vs-naive equivalence: `PreparedArea::Contains`,
+// `BoundaryIntersects` and `Intersects` must agree with the naive `Polygon`
+// methods on every input — including points exactly on edges and vertices
+// (exact-predicate tie cases) — across thousands of random star-convex and
+// adversarially concave polygons. `ClassifyBox` is conservative, so its
+// definite answers are checked against exact box predicates instead.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/prepared_area.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+/// Probe points that stress every code path: random points in and around
+/// the MBR, every vertex (exactly on the boundary), edge midpoints and
+/// quarter-points (on or within one ulp of the boundary — either way both
+/// sides must agree), and points on the prepared grid's cell-corner
+/// lattice (index-rounding ties).
+std::vector<Point> ProbePoints(const Polygon& poly, const PreparedArea& prep,
+                               Rng* rng, int random_count) {
+  std::vector<Point> probes;
+  const Box& b = poly.Bounds();
+  const double w = b.Width(), h = b.Height();
+  for (int i = 0; i < random_count; ++i) {
+    probes.push_back({b.min.x + rng->Uniform(-0.1, 1.1) * w,
+                      b.min.y + rng->Uniform(-0.1, 1.1) * h});
+  }
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Point& a = poly.vertex(i);
+    const Point& c = poly.vertex((i + 1) % poly.size());
+    probes.push_back(a);
+    probes.push_back(Midpoint(a, c));
+    probes.push_back(Midpoint(a, Midpoint(a, c)));
+  }
+  const int side = prep.grid_side();
+  for (int k = 0; k < 8; ++k) {
+    const int cx = rng->UniformInt(0, side);
+    const int cy = rng->UniformInt(0, side);
+    probes.push_back({b.min.x + cx * (w / side), b.min.y + cy * (h / side)});
+  }
+  return probes;
+}
+
+void ExpectAgreement(const Polygon& poly, const PreparedArea& prep,
+                     Rng* rng, int random_count, const char* label) {
+  const std::vector<Point> probes =
+      ProbePoints(poly, prep, rng, random_count);
+  for (const Point& p : probes) {
+    ASSERT_EQ(prep.Contains(p), poly.Contains(p))
+        << label << " Contains disagreement at " << p;
+  }
+  // Segments: short (Delaunay-edge scale), medium, and degenerate.
+  for (std::size_t i = 0; i + 1 < probes.size(); i += 2) {
+    const Segment s{probes[i], probes[i + 1]};
+    ASSERT_EQ(prep.BoundaryIntersects(s), poly.BoundaryIntersects(s))
+        << label << " BoundaryIntersects disagreement at " << s;
+    ASSERT_EQ(prep.Intersects(s), poly.Intersects(s))
+        << label << " Intersects disagreement at " << s;
+    const Segment short_s{probes[i],
+                          probes[i] + Point{poly.Bounds().Width() * 0.02,
+                                            poly.Bounds().Height() * 0.013}};
+    ASSERT_EQ(prep.BoundaryIntersects(short_s),
+              poly.BoundaryIntersects(short_s))
+        << label << " short BoundaryIntersects disagreement at " << short_s;
+  }
+  // Degenerate zero-length segments on vertices.
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const Segment z{poly.vertex(i), poly.vertex(i)};
+    ASSERT_EQ(prep.BoundaryIntersects(z), poly.BoundaryIntersects(z))
+        << label << " zero-length segment disagreement at vertex " << i;
+  }
+}
+
+void ExpectClassifyBoxSound(const Polygon& poly, const PreparedArea& prep,
+                            Rng* rng, const char* label) {
+  const Box& b = poly.Bounds();
+  const double w = b.Width(), h = b.Height();
+  for (int i = 0; i < 64; ++i) {
+    const Point lo{b.min.x + rng->Uniform(-0.2, 1.1) * w,
+                   b.min.y + rng->Uniform(-0.2, 1.1) * h};
+    const Box box{lo, lo + Point{rng->Uniform(0.0, 0.4) * w,
+                                 rng->Uniform(0.0, 0.4) * h}};
+    switch (prep.ClassifyBox(box)) {
+      case PreparedArea::Region::kInside:
+        // Definite: the whole box is inside. Spot-check corners, centre
+        // and random interior samples with the exact test.
+        ASSERT_TRUE(poly.Contains(box.min)) << label << " box " << box;
+        ASSERT_TRUE(poly.Contains(box.max)) << label << " box " << box;
+        ASSERT_TRUE(poly.Contains(box.Center())) << label << " box " << box;
+        for (int s = 0; s < 8; ++s) {
+          const Point p{box.min.x + rng->Uniform(0, 1) * box.Width(),
+                        box.min.y + rng->Uniform(0, 1) * box.Height()};
+          ASSERT_TRUE(poly.Contains(p)) << label << " box " << box;
+        }
+        break;
+      case PreparedArea::Region::kOutside:
+        // Definite: box and polygon disjoint.
+        ASSERT_FALSE(poly.IntersectsBox(box)) << label << " box " << box;
+        break;
+      case PreparedArea::Region::kStraddling:
+        break;  // Always a safe answer.
+    }
+  }
+}
+
+TEST(PreparedAreaTest, AgreesOnRandomStarPolygons) {
+  Rng rng(20260729);
+  PolygonSpec spec;
+  for (int rep = 0; rep < 1200; ++rep) {
+    spec.vertices = 3 + rng.UniformInt(0, 38);
+    spec.query_size_fraction = rng.Uniform(0.005, 0.5);
+    const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+    const PreparedArea prep(poly);
+    ExpectAgreement(poly, prep, &rng, 24, "star");
+  }
+}
+
+TEST(PreparedAreaTest, AgreesOnAdversarialCombs) {
+  // Thin-pronged combs: long point-free corridors, heavily concave, lots
+  // of collinear axis-aligned edges with exactly representable on-edge
+  // probe points.
+  Rng rng(777);
+  for (int teeth = 2; teeth <= 24; teeth += 2) {
+    const Polygon poly =
+        GenerateCombPolygon(Box{{0.125, 0.25}, {0.875, 0.75}}, teeth);
+    const PreparedArea prep(poly);
+    ExpectAgreement(poly, prep, &rng, 200, "comb");
+    ExpectClassifyBoxSound(poly, prep, &rng, "comb");
+  }
+}
+
+TEST(PreparedAreaTest, AgreesOnAxisAlignedAndCollinear) {
+  Rng rng(99);
+  // A rectangle with extra collinear vertices along its bottom edge:
+  // on-edge probes are exact, and collinear edge chains stress the
+  // crossing-parity tie-breaks.
+  const Polygon poly({{0.0, 0.0},
+                      {0.25, 0.0},
+                      {0.5, 0.0},
+                      {0.75, 0.0},
+                      {1.0, 0.0},
+                      {1.0, 0.5},
+                      {0.5, 0.5},
+                      {0.0, 0.5}});
+  const PreparedArea prep(poly);
+  ExpectAgreement(poly, prep, &rng, 400, "collinear");
+  // Exact boundary lattice points.
+  for (double x : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
+    for (double y : {0.0, 0.25, 0.5}) {
+      const Point p{x, y};
+      ASSERT_EQ(prep.Contains(p), poly.Contains(p)) << p;
+    }
+  }
+}
+
+TEST(PreparedAreaTest, ClassifyBoxSoundOnRandomPolygons) {
+  Rng rng(4242);
+  PolygonSpec spec;
+  for (int rep = 0; rep < 300; ++rep) {
+    spec.vertices = 3 + rng.UniformInt(0, 27);
+    spec.query_size_fraction = rng.Uniform(0.01, 0.4);
+    const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+    const PreparedArea prep(poly);
+    ExpectClassifyBoxSound(poly, prep, &rng, "star");
+  }
+}
+
+TEST(PreparedAreaTest, GridSideHintsRespected) {
+  Rng rng(5);
+  PolygonSpec spec;
+  const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+  for (int side : {4, 8, 17, 64, 192}) {
+    PreparedArea prep;
+    prep.Prepare(poly, side);
+    EXPECT_EQ(prep.grid_side(), side);
+    ExpectAgreement(poly, prep, &rng, 64, "hinted");
+  }
+  // SuggestGridSide grows with the workload and stays clamped.
+  EXPECT_EQ(PreparedArea::SuggestGridSide(10, 0), 0);
+  EXPECT_EQ(PreparedArea::SuggestGridSide(10, 1), 8);
+  EXPECT_GT(PreparedArea::SuggestGridSide(10, 100000),
+            PreparedArea::SuggestGridSide(10, 1000));
+  EXPECT_LE(PreparedArea::SuggestGridSide(4096, 1u << 30), 192);
+}
+
+TEST(PreparedAreaTest, UnpreparedAndDegenerate) {
+  const PreparedArea empty;
+  EXPECT_FALSE(empty.prepared());
+  EXPECT_FALSE(empty.Contains({0.5, 0.5}));
+  EXPECT_FALSE(empty.BoundaryIntersects({{0, 0}, {1, 1}}));
+  EXPECT_EQ(empty.ClassifyBox(Box{{0, 0}, {1, 1}}),
+            PreparedArea::Region::kOutside);
+
+  // Degenerate sliver: near-zero height, all cells are boundary cells.
+  Rng rng(6);
+  const Polygon sliver({{0.0, 0.5}, {1.0, 0.5}, {0.5, 0.5 + 1e-13}});
+  const PreparedArea prep(sliver);
+  ExpectAgreement(sliver, prep, &rng, 200, "sliver");
+}
+
+TEST(PreparedAreaTest, ReuseAcrossPolygons) {
+  // One PreparedArea instance rebuilt over many polygons (the QueryContext
+  // usage pattern) must behave identically to a fresh build.
+  Rng rng(11);
+  PolygonSpec spec;
+  PreparedArea reused;
+  for (int rep = 0; rep < 200; ++rep) {
+    spec.vertices = 3 + rng.UniformInt(0, 20);
+    spec.query_size_fraction = rng.Uniform(0.01, 0.4);
+    const Polygon poly = GenerateQueryPolygon(spec, kUnit, &rng);
+    reused.Prepare(poly);
+    ExpectAgreement(poly, reused, &rng, 16, "reused");
+  }
+}
+
+}  // namespace
+}  // namespace vaq

@@ -1,0 +1,75 @@
+// Regression: every exit path of `VoronoiAreaQuery::Run` — including the
+// empty-database and invalid-seed early returns — must leave a fully
+// populated stats slot (`elapsed_ms`, `index_node_accesses`), not the
+// half-reset state the pre-epilogue code left behind.
+
+#include <gtest/gtest.h>
+
+#include "core/point_database.h"
+#include "core/voronoi_area_query.h"
+#include "index/rtree.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+Polygon TestArea() {
+  Rng qrng(7);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.05;
+  return GenerateQueryPolygon(spec, kUnit, &qrng);
+}
+
+TEST(QueryStatsEpilogueTest, EmptyDatabaseFillsStats) {
+  PointDatabase db(std::vector<Point>{});
+  const VoronoiAreaQuery vaq(&db);
+  QueryContext ctx;
+  // Poison the slot: Run must overwrite every field via its Reset() +
+  // epilogue, not leave stale values or zeros from a skipped epilogue.
+  ctx.stats.elapsed_ms = -1.0;
+  ctx.stats.index_node_accesses = 12345;
+  ctx.stats.results = 999;
+  EXPECT_TRUE(vaq.Run(TestArea(), ctx).empty());
+  EXPECT_GT(ctx.stats.elapsed_ms, 0.0);
+  EXPECT_EQ(ctx.stats.index_node_accesses, 0u);
+  EXPECT_EQ(ctx.stats.results, 0u);
+  EXPECT_EQ(ctx.stats.candidates, 0u);
+}
+
+TEST(QueryStatsEpilogueTest, InvalidSeedFillsStats) {
+  Rng rng(55);
+  PointDatabase db(GenerateUniformPoints(500, kUnit, &rng));
+  // An empty seed index: NearestNeighbor returns kInvalidPointId while the
+  // database itself is non-empty, hitting the second early return.
+  RTree empty_seed_index;
+  empty_seed_index.Build({});
+  const VoronoiAreaQuery vaq(&db, VoronoiAreaQuery::Options{},
+                             &empty_seed_index);
+  QueryContext ctx;
+  ctx.stats.elapsed_ms = -1.0;
+  ctx.stats.index_node_accesses = 12345;
+  EXPECT_TRUE(vaq.Run(TestArea(), ctx).empty());
+  EXPECT_GT(ctx.stats.elapsed_ms, 0.0);
+  EXPECT_EQ(ctx.stats.index_node_accesses, 0u);
+  EXPECT_EQ(ctx.stats.results, 0u);
+}
+
+TEST(QueryStatsEpilogueTest, NormalRunStillFillsStats) {
+  Rng rng(56);
+  PointDatabase db(GenerateUniformPoints(2000, kUnit, &rng));
+  const VoronoiAreaQuery vaq(&db);
+  QueryContext ctx;
+  const auto result = vaq.Run(TestArea(), ctx);
+  EXPECT_FALSE(result.empty());
+  EXPECT_GT(ctx.stats.elapsed_ms, 0.0);
+  EXPECT_GT(ctx.stats.index_node_accesses, 0u);
+  EXPECT_EQ(ctx.stats.results, result.size());
+  EXPECT_GE(ctx.stats.candidates, ctx.stats.results);
+}
+
+}  // namespace
+}  // namespace vaq
