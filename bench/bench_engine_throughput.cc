@@ -29,7 +29,11 @@ int main(int argc, char** argv) {
   }
 
   ExperimentConfig config;
-  config.data_size = quick ? 20000 : 200000;
+  // Quick mode trims repetitions but keeps the knob grid (data size,
+  // thread counts, fetch models) identical to the full run, so its JSON
+  // rows key-match the committed BENCH_engine.json baseline and the CI
+  // regression diff actually compares something.
+  config.data_size = 200000;
   config.query_size_fraction = 0.01;
   config.repetitions = quick ? 64 : 256;
   config.seed = 20200101;

@@ -1,0 +1,144 @@
+// Micro benchmark isolating the Voronoi flood's frontier expansion: runs
+// the flood directly through a QueryContext (no engine, no simulated IO)
+// across query selectivities and reports the graph-side rates — visited
+// candidates, accepted results, edges enqueued, exact segment tests — as
+// edges/sec and visited/accepted ratios. This is the number to watch when
+// touching the storage layout or the flood kernel; the table benches mix
+// it with index filter and engine dispatch costs.
+//
+// Usage: bench_micro_flood [--quick] [--json]
+//   --json: additionally write one row per selectivity to
+//   BENCH_micro_flood.json in the working directory, for trajectory
+//   tracking alongside the table benches' JSONs.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/point_database.h"
+#include "core/voronoi_area_query.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace {
+
+constexpr vaq::Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+struct FloodRow {
+  double query_size_fraction = 0.0;
+  int repetitions = 0;
+  double time_ms = 0.0;            // Mean per query.
+  double candidates = 0.0;         // Visited & validated points.
+  double results = 0.0;            // Accepted points.
+  double visited_rejected = 0.0;   // The boundary shell.
+  double neighbor_expansions = 0.0;  // Edges that enqueued a candidate.
+  double segment_tests = 0.0;        // Exact boundary-crossing tests.
+  double edges_per_sec = 0.0;        // Expansions / flood second.
+  double visited_accepted_ratio = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vaq;
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  const std::vector<double> query_sizes =
+      quick ? std::vector<double>{0.01, 0.08, 0.32}
+            : std::vector<double>{0.01, 0.02, 0.04, 0.08, 0.16, 0.32};
+  const int reps = quick ? 30 : 200;
+  constexpr std::size_t kDataSize = 100000;
+
+  Rng data_rng(20200202);
+  PointDatabase db(GenerateUniformPoints(kDataSize, kUnit, &data_rng));
+  const VoronoiAreaQuery flood(&db);
+  QueryContext ctx;
+
+  std::vector<FloodRow> rows;
+  for (const double qs : query_sizes) {
+    Rng qrng(777);
+    PolygonSpec spec;
+    spec.query_size_fraction = qs;
+    std::vector<Polygon> areas;
+    areas.reserve(reps);
+    for (int rep = 0; rep < reps; ++rep) {
+      areas.push_back(GenerateQueryPolygon(spec, kUnit, &qrng));
+    }
+    // Warm the scratch arenas outside the timed runs.
+    flood.Run(areas[0], ctx);
+
+    FloodRow row;
+    row.query_size_fraction = qs;
+    row.repetitions = reps;
+    for (const Polygon& area : areas) {
+      flood.Run(area, ctx);
+      const QueryStats& s = ctx.stats;
+      row.time_ms += s.elapsed_ms;
+      row.candidates += static_cast<double>(s.candidates);
+      row.results += static_cast<double>(s.results);
+      row.visited_rejected += static_cast<double>(s.visited_rejected);
+      row.neighbor_expansions += static_cast<double>(s.neighbor_expansions);
+      row.segment_tests += static_cast<double>(s.segment_tests);
+    }
+    const double total_sec = row.time_ms / 1000.0;
+    row.edges_per_sec =
+        total_sec > 0.0 ? row.neighbor_expansions / total_sec : 0.0;
+    row.time_ms /= reps;
+    row.candidates /= reps;
+    row.results /= reps;
+    row.visited_rejected /= reps;
+    row.neighbor_expansions /= reps;
+    row.segment_tests /= reps;
+    row.visited_accepted_ratio =
+        row.results > 0.0 ? row.candidates / row.results : 0.0;
+    rows.push_back(row);
+  }
+
+  std::cout << "=== Voronoi flood micro bench: 1E5 points, " << reps
+            << " reps/row (RAW, no simulated IO) ===\n";
+  std::cout << "qsize%   ms/query  candidates    results  rejected  "
+               "expansions  seg_tests  visited/accepted  Medges/s\n";
+  for (const FloodRow& r : rows) {
+    std::cout << std::fixed << std::setw(6) << std::setprecision(0)
+              << r.query_size_fraction * 100.0 << std::setw(11)
+              << std::setprecision(4) << r.time_ms << std::setw(12)
+              << std::setprecision(1) << r.candidates << std::setw(11)
+              << r.results << std::setw(10) << r.visited_rejected
+              << std::setw(12) << r.neighbor_expansions << std::setw(11)
+              << r.segment_tests << std::setw(18) << std::setprecision(4)
+              << r.visited_accepted_ratio << std::setw(10)
+              << std::setprecision(2) << r.edges_per_sec / 1e6 << "\n";
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_micro_flood.json");
+    out << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const FloodRow& r = rows[i];
+      out << "  {\"data_size\": " << kDataSize
+          << ", \"query_size_fraction\": " << r.query_size_fraction
+          << ", \"repetitions\": " << r.repetitions
+          << ", \"time_ms\": " << r.time_ms
+          << ", \"candidates\": " << r.candidates
+          << ", \"results\": " << r.results
+          << ", \"visited_rejected\": " << r.visited_rejected
+          << ", \"neighbor_expansions\": " << r.neighbor_expansions
+          << ", \"segment_tests\": " << r.segment_tests
+          << ", \"edges_per_sec\": " << r.edges_per_sec
+          << ", \"visited_accepted_ratio\": " << r.visited_accepted_ratio
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::cout << "\nwrote BENCH_micro_flood.json (" << rows.size()
+              << " rows)\n";
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 // Point files: binary (VAQP magic, see workload/dataset_io.h) by ".vaqp"
 // extension, otherwise CSV "x,y" lines. Polygon files: CSV ring.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -33,7 +34,8 @@ bool EndsWith(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
-void RunOne(const AreaQuery& query, const Polygon& area, bool print_ids) {
+void RunOne(const PointDatabase& db, const AreaQuery& query,
+            const Polygon& area, bool print_ids) {
   QueryStats stats;
   const std::vector<PointId> result = query.Run(area, &stats);
   std::printf("%-12s results=%zu candidates=%llu redundant=%llu "
@@ -45,7 +47,15 @@ void RunOne(const AreaQuery& query, const Polygon& area, bool print_ids) {
               static_cast<unsigned long long>(stats.index_node_accesses),
               stats.elapsed_ms);
   if (print_ids) {
-    for (const PointId id : result) std::printf("%u\n", id);
+    // Ids are printed in the caller's frame of reference: the database
+    // stores points Hilbert-relabelled, so map each internal id back to
+    // its position in the input file — and print ascending, as before
+    // the relabelling.
+    std::vector<PointId> original;
+    original.reserve(result.size());
+    for (const PointId id : result) original.push_back(db.OriginalId(id));
+    std::sort(original.begin(), original.end());
+    for (const PointId id : original) std::printf("%u\n", id);
   }
 }
 
@@ -96,16 +106,16 @@ int main(int argc, char** argv) {
   PointDatabase db(std::move(points));
 
   if (method == "voronoi" || method == "all") {
-    RunOne(VoronoiAreaQuery(&db), area, print_ids && method != "all");
+    RunOne(db, VoronoiAreaQuery(&db), area, print_ids && method != "all");
   }
   if (method == "traditional" || method == "all") {
-    RunOne(TraditionalAreaQuery(&db), area, print_ids && method != "all");
+    RunOne(db, TraditionalAreaQuery(&db), area, print_ids && method != "all");
   }
   if (method == "grid-sweep" || method == "all") {
-    RunOne(GridSweepAreaQuery(&db), area, print_ids && method != "all");
+    RunOne(db, GridSweepAreaQuery(&db), area, print_ids && method != "all");
   }
   if (method == "brute" || method == "all") {
-    RunOne(BruteForceAreaQuery(&db), area, print_ids && method != "all");
+    RunOne(db, BruteForceAreaQuery(&db), area, print_ids && method != "all");
   }
   if (method != "voronoi" && method != "traditional" &&
       method != "grid-sweep" && method != "brute" && method != "all") {

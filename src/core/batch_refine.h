@@ -1,0 +1,55 @@
+#ifndef VAQ_CORE_BATCH_REFINE_H_
+#define VAQ_CORE_BATCH_REFINE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/point_database.h"
+#include "core/query_stats.h"
+#include "geometry/prepared_area.h"
+
+namespace vaq {
+
+/// Block size of the batched refine kernels: big enough to amortise loop
+/// overhead and vectorise the grid classification, small enough that the
+/// block's SoA arrays stay in L1.
+inline constexpr std::size_t kRefineBlock = 256;
+
+/// The batched refine kernel every query method shares: streams the
+/// candidate ids through the database's batched object-IO boundary in
+/// `kRefineBlock`-sized blocks — gather coordinates (`FetchPoints`,
+/// prefetched), bulk-classify against the prepared grid
+/// (`ClassifyPoints`), resolve boundary-cell points with the exact
+/// row-local test — and hands each block to
+///
+///   per_block(const PointId* ids, std::size_t m,
+///             const double* xs, const double* ys, const bool* inside)
+///
+/// where `inside[j]` is exactly `prep.polygon().Contains({xs[j], ys[j]})`.
+/// Callers only consume the verdicts (filter-refine pushes hits, the
+/// flood also expands hits' neighbours); the classification logic and its
+/// tuning live here once.
+template <typename Fn>
+void ForEachRefinedBlock(const PointDatabase& db, const PreparedArea& prep,
+                         const PointId* ids, std::size_t n,
+                         QueryStats* stats, Fn&& per_block) {
+  double xs[kRefineBlock];
+  double ys[kRefineBlock];
+  unsigned char cls[kRefineBlock];
+  bool inside[kRefineBlock];
+  for (std::size_t base = 0; base < n; base += kRefineBlock) {
+    const std::size_t m = std::min(kRefineBlock, n - base);
+    db.FetchPoints(ids + base, m, xs, ys, stats);
+    prep.ClassifyPoints(xs, ys, m, cls);
+    for (std::size_t j = 0; j < m; ++j) {
+      inside[j] = cls[j] == PreparedArea::kPointInside ||
+                  (cls[j] == PreparedArea::kPointBoundary &&
+                   prep.Contains({xs[j], ys[j]}));
+    }
+    per_block(ids + base, m, xs, ys, inside);
+  }
+}
+
+}  // namespace vaq
+
+#endif  // VAQ_CORE_BATCH_REFINE_H_

@@ -23,6 +23,7 @@ std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
   stats->candidates = n;
   stats->results = result.size();
   stats->candidate_hits = stats->results;
+  stats->visited_rejected = stats->candidates - stats->candidate_hits;
   stats->elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/batch_refine.h"
 #include "geometry/prepared_area.h"
 
 namespace vaq {
@@ -75,11 +76,10 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
             break;
           case PreparedArea::Region::kInside:
             // Interior cell: accept wholesale. The records are still
-            // fetched (they must be returned) but no validation happens.
-            for (const PointId id : bucket) {
-              db_->FetchPoint(id, stats);
-              result.push_back(id);
-            }
+            // fetched (they must be returned, one coherent batch IO) but
+            // no validation happens.
+            db_->ChargeFetches(bucket.size(), stats);
+            result.insert(result.end(), bucket.begin(), bucket.end());
             stats->bulk_accepted += bucket.size();
             break;
           case PreparedArea::Region::kStraddling:
@@ -87,24 +87,27 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
             // band; the exact box tests recover the wholesale accept (and
             // the outright reject) for cells the band merely grazes.
             if (area.ContainsBox(cell)) {
-              for (const PointId id : bucket) {
-                db_->FetchPoint(id, stats);
-                result.push_back(id);
-              }
+              db_->ChargeFetches(bucket.size(), stats);
+              result.insert(result.end(), bucket.begin(), bucket.end());
               stats->bulk_accepted += bucket.size();
               break;
             }
             if (!area.IntersectsBox(cell)) break;
-            // Boundary cell: validate point by point (O(1) away from the
-            // boundary band, locally exact inside it).
-            for (const PointId id : bucket) {
-              ++stats->candidates;
-              const Point& p = db_->FetchPoint(id, stats);
-              if (prep.Contains(p)) {
-                result.push_back(id);
-                ++stats->candidate_hits;
-              }
-            }
+            // Boundary cell: validate with the shared batched SoA kernel
+            // (O(1) per point away from the boundary band, locally exact
+            // inside it).
+            stats->candidates += bucket.size();
+            ForEachRefinedBlock(
+                *db_, prep, bucket.data(), bucket.size(), stats,
+                [&](const PointId* ids, std::size_t m, const double*,
+                    const double*, const bool* inside) {
+                  for (std::size_t j = 0; j < m; ++j) {
+                    if (inside[j]) {
+                      result.push_back(ids[j]);
+                      ++stats->candidate_hits;
+                    }
+                  }
+                });
             break;
         }
       }
@@ -113,6 +116,7 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
   ctx.SortIds(result, db_->size());
 
   stats->results = result.size();
+  stats->visited_rejected = stats->candidates - stats->candidate_hits;
   stats->elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)
                           .count();

@@ -3,12 +3,32 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
+
+#include "delaunay/hilbert.h"
 
 namespace vaq {
 
-void PointDatabase::SimulateFetchLatency() const {
-  const auto wait =
-      std::chrono::nanoseconds(static_cast<long>(simulated_fetch_ns_));
+namespace {
+
+/// Permutes `points` into Hilbert-curve order over their bounding box and
+/// records the internal→original mapping in `*to_original`.
+std::vector<Point> HilbertCluster(std::vector<Point> points,
+                                  std::vector<PointId>* to_original) {
+  *to_original = HilbertOrder(points);
+  std::vector<Point> clustered;
+  clustered.reserve(points.size());
+  for (const PointId original : *to_original) {
+    clustered.push_back(points[original]);
+  }
+  return clustered;
+}
+
+}  // namespace
+
+void PointDatabase::SimulateFetchLatency(std::size_t n) const {
+  const auto wait = std::chrono::nanoseconds(
+      static_cast<long>(simulated_fetch_ns_ * static_cast<double>(n)));
   if (latency_model_ == FetchLatencyModel::kSleep) {
     std::this_thread::sleep_for(wait);
     return;
@@ -20,11 +40,22 @@ void PointDatabase::SimulateFetchLatency() const {
 }
 
 PointDatabase::PointDatabase(std::vector<Point> points, Options options)
-    : points_(std::move(points)),
+    : points_(HilbertCluster(std::move(points), &to_original_)),
       rtree_(options.rtree_max_entries, options.rtree_min_entries),
-      delaunay_(points_) {
-  for (const Point& p : points_) bounds_.ExpandToInclude(p);
-  rtree_.Build(points_);
+      delaunay_(points_, /*hilbert_sorted=*/true) {
+  to_internal_.resize(points_.size());
+  xs_.resize(points_.size());
+  ys_.resize(points_.size());
+  for (PointId id = 0; id < points_.size(); ++id) {
+    to_internal_[to_original_[id]] = id;
+    xs_[id] = points_[id].x;
+    ys_[id] = points_[id].y;
+    bounds_.ExpandToInclude(points_[id]);
+  }
+  // The array is already Hilbert-clustered, so the R-tree packs
+  // consecutive runs into leaves instead of re-sorting (see
+  // `RTree::BuildClustered`).
+  rtree_.BuildClustered(points_);
 }
 
 const VoronoiDiagram& PointDatabase::voronoi() const {

@@ -19,10 +19,25 @@ namespace vaq {
 /// an R-tree (window queries and the seed NN lookup) and the Delaunay
 /// triangulation (Voronoi-neighbour links).
 ///
-/// `FetchPoint` is the accounting boundary for object IO: every query
-/// implementation fetches candidate geometry through it so that
-/// `QueryStats::geometry_loads` approximates the object-level IO a
-/// disk-resident engine would pay.
+/// **Hilbert-clustered storage.** Points are relabelled at construction:
+/// the stored order (and therefore the `PointId` space every query
+/// operates in) is Hilbert-curve order over the data bounding box, so id
+/// proximity ≈ spatial proximity. Every structure built on top — the
+/// R-tree leaves, the Delaunay CSR adjacency, the per-query visited
+/// bitmap — inherits that locality: a query touching a spatially compact
+/// region touches a compact id range, which is what keeps the Voronoi
+/// flood's gathers cache-resident. The permutation back to the caller's
+/// input order is kept for dataset IO round-trips (`OriginalId` /
+/// `InternalId`).
+///
+/// Coordinates are stored both as the AoS `Point` vector (structure
+/// walks, single-point reads) and as parallel SoA arrays `xs()`/`ys()`
+/// that the batched refine kernels stream.
+///
+/// `FetchPoint` / `FetchPoints` are the accounting boundary for object
+/// IO: every query implementation fetches candidate geometry through
+/// them so that `QueryStats::geometry_loads` approximates the
+/// object-level IO a disk-resident engine would pay.
 class PointDatabase {
  public:
   struct Options {
@@ -30,14 +45,31 @@ class PointDatabase {
     int rtree_min_entries = 6;
   };
 
-  /// Builds the database (bulk-loads the R-tree, triangulates).
+  /// Builds the database: Hilbert-relabels the points, bulk-loads the
+  /// R-tree from the clustered array and triangulates.
   /// Precondition: points are pairwise distinct.
   explicit PointDatabase(std::vector<Point> points)
       : PointDatabase(std::move(points), Options{}) {}
   PointDatabase(std::vector<Point> points, Options options);
 
   std::size_t size() const { return points_.size(); }
+
+  /// The points in internal (Hilbert) order; `points()[id]` is the
+  /// geometry of internal id `id`.
   const std::vector<Point>& points() const { return points_; }
+
+  /// SoA coordinate arrays parallel to `points()` — the streams the
+  /// batched refine kernels read.
+  const double* xs() const { return xs_.data(); }
+  const double* ys() const { return ys_.data(); }
+
+  /// Position of internal id `id` in the constructor's input vector.
+  PointId OriginalId(PointId id) const { return to_original_[id]; }
+  /// Internal id of the point at position `original` of the input vector.
+  PointId InternalId(PointId original) const { return to_internal_[original]; }
+  /// The whole internal→original permutation (size() entries).
+  const std::vector<PointId>& original_ids() const { return to_original_; }
+
   const Box& bounds() const { return bounds_; }
 
   const RTree& rtree() const { return rtree_; }
@@ -54,8 +86,42 @@ class PointDatabase {
   /// `stats` (if non-null) and paying the simulated fetch latency, if any.
   const Point& FetchPoint(PointId id, QueryStats* stats) const {
     if (stats != nullptr) ++stats->geometry_loads;
-    if (simulated_fetch_ns_ > 0.0) SimulateFetchLatency();
+    if (simulated_fetch_ns_ > 0.0) SimulateFetchLatency(1);
     return points_[id];
+  }
+
+  /// Batched fetch: gathers the coordinates of `ids[0..n)` into the SoA
+  /// output arrays, charging `n` geometry loads and paying the simulated
+  /// latency for the whole batch coherently (one wait of n × the per-object
+  /// latency instead of n clock round-trips — a disk engine would likewise
+  /// coalesce a batch of object reads into one request queue submission).
+  /// This is the accounting boundary the batch refine kernels stream
+  /// through; the gather prefetches ahead, so a cache-hostile id sequence
+  /// still pipelines its misses.
+  void FetchPoints(const PointId* ids, std::size_t n, double* xs_out,
+                   double* ys_out, QueryStats* stats) const {
+    if (stats != nullptr) stats->geometry_loads += n;
+    if (simulated_fetch_ns_ > 0.0) SimulateFetchLatency(n);
+    const double* xs = xs_.data();
+    const double* ys = ys_.data();
+    for (std::size_t j = 0; j < n; ++j) {
+#if defined(__GNUC__)
+      if (j + 8 < n) {
+        __builtin_prefetch(&xs[ids[j + 8]]);
+        __builtin_prefetch(&ys[ids[j + 8]]);
+      }
+#endif
+      xs_out[j] = xs[ids[j]];
+      ys_out[j] = ys[ids[j]];
+    }
+  }
+
+  /// Charges `n` object fetches (geometry loads + simulated latency)
+  /// without gathering coordinates — for bulk-accepted results whose
+  /// geometry is returned wholesale and never individually inspected.
+  void ChargeFetches(std::size_t n, QueryStats* stats) const {
+    if (stats != nullptr) stats->geometry_loads += n;
+    if (simulated_fetch_ns_ > 0.0 && n > 0) SimulateFetchLatency(n);
   }
 
   /// How a simulated object fetch spends its latency.
@@ -89,9 +155,15 @@ class PointDatabase {
   FetchLatencyModel fetch_latency_model() const { return latency_model_; }
 
  private:
-  void SimulateFetchLatency() const;
+  void SimulateFetchLatency(std::size_t n) const;
 
+  // Initialised first (declaration order): the points_ initializer fills it
+  // as a side effect of the Hilbert permutation.
+  std::vector<PointId> to_original_;
   std::vector<Point> points_;
+  std::vector<PointId> to_internal_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   Box bounds_;
   RTree rtree_;
   DelaunayTriangulation delaunay_;

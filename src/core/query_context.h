@@ -52,6 +52,29 @@ class QueryContext {
   bool Visited(PointId id) const { return visited_[id] == epoch_; }
   void MarkVisited(PointId id) { visited_[id] = epoch_; }
 
+  /// Register-resident view of the visited set for tight kernels: the
+  /// array pointer and the epoch live in the returned value, so the
+  /// compiler keeps them in registers instead of re-loading the context
+  /// members on every edge (stores into a same-typed output array may
+  /// alias them otherwise). Invalidated by `BeginVisitEpoch`.
+  ///
+  /// `MarkIfUnvisited` marks unconditionally and reports whether the id
+  /// was fresh, so a caller's expansion loop carries no data-dependent
+  /// branch — the flood kernel pairs it with a compaction store
+  /// (`out[n] = id; n += fresh;`) to expand neighbours without branch
+  /// mispredictions.
+  struct VisitMarker {
+    std::uint32_t* visited;
+    std::uint32_t epoch;
+    bool Visited(PointId id) const { return visited[id] == epoch; }
+    bool MarkIfUnvisited(PointId id) {
+      const bool fresh = visited[id] != epoch;
+      visited[id] = epoch;
+      return fresh;
+    }
+  };
+  VisitMarker Marker() { return VisitMarker{visited_.data(), epoch_}; }
+
   /// Test hook for the wrap path: force the epoch counter near its maximum
   /// without running 2^32 queries.
   void SetEpochForTest(std::uint32_t epoch) { epoch_ = epoch; }

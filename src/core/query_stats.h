@@ -29,6 +29,13 @@ struct QueryStats {
   /// of index subtrees / grid cells whose MBR the `PreparedArea` classified
   /// as fully inside the query polygon.
   std::uint64_t bulk_accepted = 0;
+  /// Candidates whose geometry was loaded and validated but that were NOT
+  /// results — the explicit counterpart of `RedundantValidations()`. For
+  /// the Voronoi flood this is the visited boundary shell (visited points
+  /// outside A), reported distinctly so the epilogue invariant
+  /// `candidates == candidate_hits + visited_rejected` is checkable
+  /// instead of being hidden by `candidate_hits = results`.
+  std::uint64_t visited_rejected = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -52,6 +59,7 @@ struct QueryStats {
     neighbor_expansions += o.neighbor_expansions;
     segment_tests += o.segment_tests;
     bulk_accepted += o.bulk_accepted;
+    visited_rejected += o.visited_rejected;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

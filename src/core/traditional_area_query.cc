@@ -3,18 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/batch_refine.h"
 #include "geometry/prepared_area.h"
 
 namespace vaq {
-
-namespace {
-/// Candidates are validated in blocks of this many points: coordinates are
-/// gathered into stack-resident SoA arrays, classified against the prepared
-/// grid in one tight loop, and only boundary-cell survivors take the exact
-/// edge test. Big enough to amortise loop overhead and vectorise, small
-/// enough to stay in L1.
-constexpr std::size_t kValidateBlock = 256;
-}  // namespace
 
 TraditionalAreaQuery::TraditionalAreaQuery(const PointDatabase* db,
                                            const SpatialIndex* index,
@@ -42,11 +34,10 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
                                              area.Bounds()));
     std::vector<PointId>& candidates = ctx.ScratchCandidates();
     index_->PolygonQuery(prep, &candidates, &filter_io);
-    result.reserve(candidates.size());
-    for (const PointId id : candidates) {
-      db_->FetchPoint(id, stats);
-      result.push_back(id);
-    }
+    // Each returned object is one object IO, charged as one coherent
+    // batch; the coordinates themselves are never inspected again.
+    db_->ChargeFetches(candidates.size(), stats);
+    result.insert(result.end(), candidates.begin(), candidates.end());
     stats->candidates = candidates.size();
   } else {
     // Filter: all points inside the MBR of the query area.
@@ -57,45 +48,25 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
     // prepared grid: the build cost amortises over this many point tests.
     const PreparedArea& prep = ctx.Prepared(area, candidates.size());
 
-    // Refine: batched SoA validation. Fetch a block of candidate
-    // coordinates, classify the whole block against the prepared grid, and
-    // run the exact (row-local) test only on boundary-cell points.
+    // Refine: the shared batched SoA kernel (see batch_refine.h) streams
+    // candidate blocks through the IO boundary and the prepared grid;
+    // every survivor is a result.
     result.reserve(candidates.size());
-    double xs[kValidateBlock];
-    double ys[kValidateBlock];
-    unsigned char cls[kValidateBlock];
-    for (std::size_t base = 0; base < candidates.size();
-         base += kValidateBlock) {
-      const std::size_t n =
-          std::min(kValidateBlock, candidates.size() - base);
-      for (std::size_t j = 0; j < n; ++j) {
-#if defined(__GNUC__)
-        // The gather strides randomly through the point table; prefetching
-        // a few candidates ahead hides most of the cache-miss latency.
-        if (base + j + 8 < candidates.size()) {
-          __builtin_prefetch(&db_->points()[candidates[base + j + 8]]);
-        }
-#endif
-        const Point& p = db_->FetchPoint(candidates[base + j], stats);
-        xs[j] = p.x;
-        ys[j] = p.y;
-      }
-      prep.ClassifyPoints(xs, ys, n, cls);
-      for (std::size_t j = 0; j < n; ++j) {
-        if (cls[j] == PreparedArea::kPointInside) {
-          result.push_back(candidates[base + j]);
-        } else if (cls[j] == PreparedArea::kPointBoundary &&
-                   prep.Contains({xs[j], ys[j]})) {
-          result.push_back(candidates[base + j]);
-        }
-      }
-    }
+    ForEachRefinedBlock(
+        *db_, prep, candidates.data(), candidates.size(), stats,
+        [&](const PointId* ids, std::size_t m, const double*, const double*,
+            const bool* inside) {
+          for (std::size_t j = 0; j < m; ++j) {
+            if (inside[j]) result.push_back(ids[j]);
+          }
+        });
     stats->candidates = candidates.size();
   }
   ctx.SortIds(result, db_->size());
 
   stats->results = result.size();
   stats->candidate_hits = stats->results;
+  stats->visited_rejected = stats->candidates - stats->candidate_hits;
   stats->index_node_accesses = filter_io.node_accesses;
   stats->bulk_accepted = filter_io.bulk_accepted;
   stats->elapsed_ms = std::chrono::duration<double, std::milli>(

@@ -39,8 +39,9 @@ class TraditionalAreaQuery : public AreaQuery {
   };
 
   /// `db` must outlive this object. If `index` is null the database R-tree
-  /// is used; otherwise `index` (which must index the same points, and also
-  /// outlive this object).
+  /// is used; otherwise `index` (which must index `db->points()` — the
+  /// internal, Hilbert-ordered array, so ids agree — and also outlive
+  /// this object).
   explicit TraditionalAreaQuery(const PointDatabase* db,
                                 const SpatialIndex* index = nullptr)
       : TraditionalAreaQuery(db, index, Options{}) {}

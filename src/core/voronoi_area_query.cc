@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 
+#include "core/batch_refine.h"
 #include "geometry/prepared_area.h"
 #include "geometry/segment.h"
 
@@ -23,6 +25,20 @@ bool VoronoiAreaQuery::CellIntersectsArea(PointId v,
   const VoronoiDiagram& vd = db_->voronoi();
   const std::vector<Point>& ring = vd.cell(v);
   if (ring.size() < 3) return false;
+  // O(1) screen: classify the cell's bounding box against the prepared
+  // grid. An outside box is disjoint from A (the cell cannot intersect);
+  // an inside box is wholly contained in A (the cell certainly does).
+  // Only boxes near the boundary fall through to the exact edge loop.
+  Box cell_bounds;
+  for (const Point& p : ring) cell_bounds.ExpandToInclude(p);
+  switch (area.ClassifyBox(cell_bounds)) {
+    case PreparedArea::Region::kOutside:
+      return false;
+    case PreparedArea::Region::kInside:
+      return true;
+    case PreparedArea::Region::kStraddling:
+      break;
+  }
   // The cell intersects the polygon iff a cell vertex is inside the
   // polygon, a polygon vertex is inside the cell, or boundaries cross. The
   // edge test below covers all three but full mutual containment, which the
@@ -45,11 +61,15 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
   std::vector<PointId> result;
   // Every exit — including the empty-database and invalid-seed early
   // returns — funnels through this epilogue so the stats slot is never
-  // left half-filled after the Reset() above.
+  // left half-filled after the Reset() above. Every result is a validated
+  // candidate (candidate_hits == results); the candidates that were
+  // visited but failed validation — the flood's boundary shell — are
+  // reported distinctly (candidates == candidate_hits + visited_rejected).
   const auto finish = [&]() -> std::vector<PointId> {
     ctx.SortIds(result, db_->size());
     stats->results = result.size();
     stats->candidate_hits = stats->results;
+    stats->visited_rejected = stats->candidates - stats->candidate_hits;
     stats->index_node_accesses = seed_io.node_accesses;
     stats->elapsed_ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
@@ -63,60 +83,134 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
 
   ctx.BeginVisitEpoch(n);
   // The flood validates roughly the MBR's share of the database (results
-  // plus a boundary shell); that estimate sizes the prepared grid.
-  const PreparedArea& prep = ctx.Prepared(
-      area, PreparedArea::EstimateMbrShare(n, db_->bounds(), area.Bounds()));
+  // plus a boundary shell); that estimate sizes the prepared grid and
+  // pre-sizes the result so the hot loop never reallocates.
+  const std::size_t expected =
+      PreparedArea::EstimateMbrShare(n, db_->bounds(), area.Bounds());
+  const PreparedArea& prep = ctx.Prepared(area, expected);
+  result.reserve(expected);
 
   // Line 3-4: seed = NN(P, arbitrary position in A).
   const Point seed_pos = area.InteriorPoint();
   const PointId seed = seed_index_->NearestNeighbor(seed_pos, &seed_io);
   if (seed == kInvalidPointId) return finish();
 
-  // P_candidate of Algorithm 1. Visit order does not affect the candidate
-  // set (every visited point is validated exactly once), so a LIFO vector
-  // is used instead of the paper's FIFO queue for cheaper bookkeeping.
-  std::vector<PointId>& queue = ctx.ScratchQueue();
-  queue.reserve(256);
-  queue.push_back(seed);
-  ctx.MarkVisited(seed);
+  // P_candidate of Algorithm 1, processed one frontier generation at a
+  // time instead of one point at a time: the whole frontier's geometry is
+  // gathered through the batched fetch boundary into SoA blocks and
+  // bulk-classified against the prepared grid, so the common case — an
+  // internal point in an inside cell — costs one coordinate stream read
+  // and one cell lookup, no exact geometry at all. Visit order does not
+  // affect the candidate set (every visited point is validated exactly
+  // once), so generation order is as valid as the paper's FIFO.
+  // The two generation buffers are std::vectors used as raw storage:
+  // `size()` is only a high-water mark (grown, never shrunk, so the
+  // zero-fill a vector resize performs is paid once per growth instead
+  // of once per block) and the live lengths are tracked separately.
+  // Elements beyond the live length are stale scratch, never read.
+  std::vector<PointId>& frontier = ctx.ScratchQueue();
+  std::vector<PointId>& next = ctx.ScratchCandidates();
+  QueryContext::VisitMarker visit = ctx.Marker();
+  frontier.resize(64);
+  frontier[0] = seed;
+  std::size_t frontier_len = 1;
+  visit.MarkIfUnvisited(seed);
 
-  while (!queue.empty()) {
-    const PointId p = queue.back();
-    queue.pop_back();
-    ++stats->candidates;
-    const Point& pp = db_->FetchPoint(p, stats);
-    if (prep.Contains(pp)) {
-      // Internal point: all Voronoi neighbours become candidates.
-      result.push_back(p);
-      for (const PointId pn : dt.NeighborsOf(p)) {
-        if (!ctx.Visited(pn)) {
-          ctx.MarkVisited(pn);
-          queue.push_back(pn);
-          ++stats->neighbor_expansions;
-        }
+  const double* xs = db_->xs();
+  const double* ys = db_->ys();
+  const bool paper_rule =
+      options_.expansion == ExpansionRule::kPaperSegment;
+
+  const PointId* rows[kRefineBlock];
+  std::uint32_t lens[kRefineBlock];
+
+  while (frontier_len > 0) {
+    std::size_t next_len = 0;
+    stats->candidates += frontier_len;
+    // Each generation streams through the shared batched refine kernel
+    // (object IO + grid classification + exact boundary resolution per
+    // 256-block); the per-block callback owns the graph side.
+    ForEachRefinedBlock(*db_, prep, frontier.data(), frontier_len, stats, [&](
+        const PointId* block, std::size_t m, const double* bx,
+        const double* by, const bool* inside) {
+      // Resolve the block's CSR adjacency rows up front: one pass pulls
+      // every row's extent from the offsets array, prefetches the row
+      // data, and sizes the next-frontier append for the whole block —
+      // the expansion loop below then runs on registers and L1.
+      std::size_t degree_sum = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::span<const PointId> nbrs = dt.NeighborsOf(block[j]);
+        rows[j] = nbrs.data();
+        lens[j] = static_cast<std::uint32_t>(nbrs.size());
+        degree_sum += nbrs.size();
+#if defined(__GNUC__)
+        __builtin_prefetch(nbrs.data());
+#endif
       }
-    } else {
-      // Boundary point: only expand along edges that reach back into A.
-      for (const PointId pn : dt.NeighborsOf(p)) {
-        if (ctx.Visited(pn)) continue;
-        bool follow;
-        if (options_.expansion == ExpansionRule::kPaperSegment) {
-          // Intersects(line(p, pn), A) specialised for p outside A:
-          // the segment meets A iff pn is inside or it crosses the ring.
-          const Point& pnp = dt.point(pn);
-          ++stats->segment_tests;
-          follow = prep.Contains(pnp) ||
-                   prep.BoundaryIntersects(Segment{pp, pnp});
+      if (next.size() < next_len + degree_sum) {
+        next.resize(std::max(next_len + degree_sum, next.size() * 2));
+      }
+      PointId* out = next.data() + next_len;
+      std::size_t enqueued = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const PointId p = block[j];
+        const PointId* row = rows[j];
+        const std::uint32_t len = lens[j];
+        if (inside[j]) {
+          // Internal point: all Voronoi neighbours become candidates.
+          // Expansion is branchless — mark unconditionally, compact the
+          // fresh ids into the next frontier — because the ~50/50
+          // already-visited outcome would otherwise mispredict on nearly
+          // every edge of the interior.
+          result.push_back(p);
+          for (std::uint32_t k = 0; k < len; ++k) {
+            const PointId pn = row[k];
+            out[enqueued] = pn;
+            enqueued += visit.MarkIfUnvisited(pn) ? 1 : 0;
+          }
         } else {
-          follow = CellIntersectsArea(pn, prep);
-        }
-        if (follow) {
-          ctx.MarkVisited(pn);
-          queue.push_back(pn);
-          ++stats->neighbor_expansions;
+          // Boundary point: only expand along edges that reach back into
+          // A. The O(1) cell class of the neighbour settles the common
+          // cases — an inside-cell endpoint is in A (follow, paper line
+          // 21's `pn ∈ A` branch), and for an outside-cell endpoint only
+          // the boundary-crossing test remains, which rejects in O(1)
+          // when the edge's cell range holds no boundary cell. Exact
+          // segment geometry runs only for edges that genuinely graze
+          // the boundary band.
+          for (std::uint32_t k = 0; k < len; ++k) {
+            const PointId pn = row[k];
+            if (visit.Visited(pn)) continue;
+            bool follow;
+            if (paper_rule) {
+              const double xn = xs[pn];
+              const double yn = ys[pn];
+              const unsigned char ncls = prep.ClassifyPoint(xn, yn);
+              if (ncls == PreparedArea::kPointInside) {
+                follow = true;
+              } else {
+                follow = ncls == PreparedArea::kPointBoundary &&
+                         prep.Contains({xn, yn});
+                if (!follow) {
+                  ++stats->segment_tests;
+                  follow = prep.BoundaryIntersects(
+                      Segment{{bx[j], by[j]}, {xn, yn}});
+                }
+              }
+            } else {
+              follow = CellIntersectsArea(pn, prep);
+            }
+            if (follow) {
+              visit.MarkIfUnvisited(pn);
+              out[enqueued++] = pn;
+            }
+          }
         }
       }
-    }
+      next_len += enqueued;
+      stats->neighbor_expansions += enqueued;
+    });
+    std::swap(frontier, next);
+    frontier_len = next_len;
   }
   return finish();
 }

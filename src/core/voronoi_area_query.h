@@ -42,7 +42,8 @@ class VoronoiAreaQuery : public AreaQuery {
 
   /// `db` must outlive this object. If `seed_index` is null the database
   /// R-tree provides the seed NN lookup (the paper also uses an R-tree
-  /// here, "for fairness").
+  /// here, "for fairness"); a non-null index must index `db->points()`
+  /// (the internal, Hilbert-ordered array) so ids agree.
   explicit VoronoiAreaQuery(const PointDatabase* db)
       : VoronoiAreaQuery(db, Options{}) {}
   VoronoiAreaQuery(const PointDatabase* db, Options options,

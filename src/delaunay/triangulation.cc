@@ -23,7 +23,8 @@ inline std::uint32_t NextRand(std::uint32_t* state) {
 
 }  // namespace
 
-DelaunayTriangulation::DelaunayTriangulation(std::vector<Point> points)
+DelaunayTriangulation::DelaunayTriangulation(std::vector<Point> points,
+                                             bool hilbert_sorted)
     : points_(std::move(points)), num_real_(points_.size()) {
   // Super-triangle far outside the data bounding box (see class comment).
   Box bounds;
@@ -40,10 +41,17 @@ DelaunayTriangulation::DelaunayTriangulation(std::vector<Point> points)
   tris_.push_back(Tri{{s0, s0 + 1, s0 + 2}, {-1, -1, -1}, true});
   last_triangle_ = 0;
 
-  const std::vector<std::uint32_t> order = HilbertOrder(
-      std::vector<Point>(points_.begin(), points_.begin() + num_real_));
-  for (const std::uint32_t vid : order) {
-    InsertPoint(vid, last_triangle_);
+  if (hilbert_sorted) {
+    // Input order is already spatially coherent: insert as-is.
+    for (std::uint32_t vid = 0; vid < num_real_; ++vid) {
+      InsertPoint(vid, last_triangle_);
+    }
+  } else {
+    const std::vector<std::uint32_t> order = HilbertOrder(
+        std::vector<Point>(points_.begin(), points_.begin() + num_real_));
+    for (const std::uint32_t vid : order) {
+      InsertPoint(vid, last_triangle_);
+    }
   }
   BuildAdjacency();
 }

@@ -42,7 +42,12 @@ class DelaunayTriangulation {
   };
 
   /// Builds the triangulation of `points`. O(n log n) expected.
-  explicit DelaunayTriangulation(std::vector<Point> points);
+  /// Pass `hilbert_sorted = true` when the caller already ordered the
+  /// points along a Hilbert curve (e.g. `PointDatabase`'s clustered
+  /// storage): insertions then run in input order and the BRIO reorder —
+  /// an O(n log n) sort plus a full copy of the point set — is skipped.
+  explicit DelaunayTriangulation(std::vector<Point> points,
+                                 bool hilbert_sorted = false);
 
   /// Number of real points.
   std::size_t num_points() const { return num_real_; }

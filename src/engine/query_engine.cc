@@ -128,6 +128,7 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.index_node_accesses += result.stats.index_node_accesses;
       m.neighbor_expansions += result.stats.neighbor_expansions;
       m.bulk_accepted += result.stats.bulk_accepted;
+      m.visited_rejected += result.stats.visited_rejected;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -155,6 +156,7 @@ EngineStats QueryEngine::Stats() const {
       agg.index_node_accesses += m.index_node_accesses;
       agg.neighbor_expansions += m.neighbor_expansions;
       agg.bulk_accepted += m.bulk_accepted;
+      agg.visited_rejected += m.visited_rejected;
       agg.total_query_ms += m.total_query_ms;
     }
   }

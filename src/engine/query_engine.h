@@ -43,6 +43,9 @@ struct MethodEngineStats {
   /// Results accepted without per-point validation (subtrees/cells whose
   /// MBR the prepared polygon classified fully inside).
   std::uint64_t bulk_accepted = 0;
+  /// Candidates validated but rejected (see
+  /// `QueryStats::visited_rejected`).
+  std::uint64_t visited_rejected = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 

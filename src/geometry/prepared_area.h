@@ -110,11 +110,24 @@ class PreparedArea {
   /// The polygon's MBR (== `polygon().Bounds()`), the grid's extent.
   const Box& bounds() const { return bounds_; }
 
+  /// O(1) three-way classification of one point against the grid:
+  /// `kPointInside` / `kPointOutside` are definite (identical to
+  /// `Contains`); `kPointBoundary` means the point lies in a boundary
+  /// cell and the caller must confirm with `Contains`. This is the
+  /// per-point building block of the batch kernels — cheap enough to run
+  /// on every frontier neighbour before deciding whether an exact test
+  /// is needed at all.
+  unsigned char ClassifyPoint(double x, double y) const {
+    if (polygon_ == nullptr || !bounds_.Contains(Point{x, y})) {
+      return kPointOutside;
+    }
+    return cell_class_[CellIndexOf(Point{x, y})];
+  }
+
   /// Exactly `polygon().Contains(p)`: true if `p` is inside or on the
   /// boundary. O(1) for points away from the boundary band.
   bool Contains(const Point& p) const {
-    if (polygon_ == nullptr || !bounds_.Contains(p)) return false;
-    const unsigned char cls = cell_class_[CellIndexOf(p)];
+    const unsigned char cls = ClassifyPoint(p.x, p.y);
     if (cls != kPointBoundary) return cls == kPointInside;
     return ContainsViaRow(p);
   }

@@ -86,6 +86,56 @@ void RTree::Build(const std::vector<Point>& points) {
   }
 }
 
+void RTree::BuildClustered(const std::vector<Point>& points) {
+  nodes_.clear();
+  root_ = -1;
+  count_ = points.size();
+  if (points.empty()) return;
+
+  // Pack consecutive runs of the (already spatially clustered) input into
+  // leaves. Group sizes are balanced across the level so no node falls
+  // far under capacity: ceil(n / M) groups of n / groups entries each.
+  std::vector<Entry> level;
+  level.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    level.push_back(Entry{Box(points[i]), static_cast<std::int32_t>(i)});
+  }
+
+  bool leaf_level = true;
+  while (level.size() > static_cast<std::size_t>(max_entries_) ||
+         leaf_level) {
+    const std::size_t n = level.size();
+    const std::size_t capacity = static_cast<std::size_t>(max_entries_);
+    const std::size_t num_groups = (n + capacity - 1) / capacity;
+    const std::size_t base = n / num_groups;
+    const std::size_t remainder = n % num_groups;
+
+    std::vector<Entry> parents;
+    parents.reserve(num_groups);
+    std::size_t at = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      const std::size_t group_size = base + (g < remainder ? 1 : 0);
+      const std::int32_t node_id = NewNode(leaf_level);
+      Node& node = nodes_[node_id];
+      node.entries.assign(level.begin() + at, level.begin() + at + group_size);
+      at += group_size;
+      RecomputeBounds(node_id);
+      parents.push_back(Entry{nodes_[node_id].bounds, node_id});
+    }
+    level = std::move(parents);
+    leaf_level = false;
+    if (level.size() == 1) break;
+  }
+
+  if (level.size() == 1) {
+    root_ = level[0].id;
+  } else {
+    root_ = NewNode(false);
+    nodes_[root_].entries = std::move(level);
+    RecomputeBounds(root_);
+  }
+}
+
 std::int32_t RTree::ChooseLeaf(std::int32_t node_id, const Box& box,
                                std::vector<std::int32_t>* path) const {
   while (true) {

@@ -36,6 +36,12 @@ class RTree : public SpatialIndex {
                  SplitStrategy split = SplitStrategy::kQuadratic);
 
   void Build(const std::vector<Point>& points) override;
+  /// Hilbert-packed bulk load: the input is promised to be in
+  /// space-filling-curve order, so consecutive runs of `max_entries`
+  /// points become leaves directly — no sorting at any level. One O(n)
+  /// pass per level versus STR's two O(n log n) sorts, with leaf MBRs
+  /// of comparable tightness (curve runs are spatially compact).
+  void BuildClustered(const std::vector<Point>& points) override;
   std::size_t size() const override { return count_; }
   void WindowQuery(const Box& window, std::vector<PointId>* out,
                    IndexStats* stats = nullptr) const override;

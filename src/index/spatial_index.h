@@ -59,6 +59,17 @@ class SpatialIndex {
   /// the vector. Replaces any previous content.
   virtual void Build(const std::vector<Point>& points) = 0;
 
+  /// Bulk-loads from a vector the caller promises is already spatially
+  /// clustered (consecutive positions ≈ spatial neighbours, e.g.
+  /// Hilbert-curve order — what `PointDatabase` stores). Indexes that can
+  /// exploit the ordering override this to pack consecutive runs directly
+  /// into leaves, skipping their own sorting passes; the default just
+  /// forwards to `Build`. Results of every query operation are identical
+  /// either way.
+  virtual void BuildClustered(const std::vector<Point>& points) {
+    Build(points);
+  }
+
   /// Number of indexed points.
   virtual std::size_t size() const = 0;
 

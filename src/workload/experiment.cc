@@ -25,7 +25,7 @@ double MillisSince(std::chrono::steady_clock::time_point t0) {
 
 void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->candidates += static_cast<double>(stats.candidates);
-  avg->redundant += static_cast<double>(stats.RedundantValidations());
+  avg->redundant += static_cast<double>(stats.visited_rejected);
   avg->time_ms += stats.elapsed_ms;
   avg->node_accesses += static_cast<double>(stats.index_node_accesses);
   avg->geometry_loads += static_cast<double>(stats.geometry_loads);

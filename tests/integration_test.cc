@@ -89,10 +89,12 @@ TEST(IntegrationTest, TraditionalQueryWorksOnIncrementallyBuiltIndex) {
   Rng rng(5);
   const auto points = GenerateUniformPoints(3000, kUnit, &rng);
   PointDatabase db(points);
+  // An injected index must index the database's internal (Hilbert-ordered)
+  // array so its ids agree with the database's id space.
   RTree dynamic_tree(8, 3, RTree::SplitStrategy::kLinear);
   dynamic_tree.Build({});
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    dynamic_tree.Insert(points[i], static_cast<PointId>(i));
+  for (std::size_t i = 0; i < db.points().size(); ++i) {
+    dynamic_tree.Insert(db.points()[i], static_cast<PointId>(i));
   }
   const TraditionalAreaQuery with_bulk(&db);
   const TraditionalAreaQuery with_dynamic(&db, &dynamic_tree);

@@ -2,6 +2,12 @@
 // empty-database and invalid-seed early returns — must leave a fully
 // populated stats slot (`elapsed_ms`, `index_node_accesses`), not the
 // half-reset state the pre-epilogue code left behind.
+//
+// Also asserts the candidate-accounting invariant: the flood reports its
+// visited-but-rejected candidates (the boundary shell) distinctly, so
+//   candidates == candidate_hits + visited_rejected
+// and `candidate_hits == results` on every exit path — the epilogue no
+// longer hides the flood's true visited counts behind the result count.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +22,12 @@ namespace vaq {
 namespace {
 
 constexpr Box kUnit{{0.0, 0.0}, {1.0, 1.0}};
+
+void ExpectCandidateInvariant(const QueryStats& s) {
+  EXPECT_EQ(s.candidate_hits, s.results);
+  EXPECT_EQ(s.candidates, s.candidate_hits + s.visited_rejected);
+  EXPECT_EQ(s.RedundantValidations(), s.visited_rejected);
+}
 
 Polygon TestArea() {
   Rng qrng(7);
@@ -38,6 +50,7 @@ TEST(QueryStatsEpilogueTest, EmptyDatabaseFillsStats) {
   EXPECT_EQ(ctx.stats.index_node_accesses, 0u);
   EXPECT_EQ(ctx.stats.results, 0u);
   EXPECT_EQ(ctx.stats.candidates, 0u);
+  ExpectCandidateInvariant(ctx.stats);
 }
 
 TEST(QueryStatsEpilogueTest, InvalidSeedFillsStats) {
@@ -56,6 +69,7 @@ TEST(QueryStatsEpilogueTest, InvalidSeedFillsStats) {
   EXPECT_GT(ctx.stats.elapsed_ms, 0.0);
   EXPECT_EQ(ctx.stats.index_node_accesses, 0u);
   EXPECT_EQ(ctx.stats.results, 0u);
+  ExpectCandidateInvariant(ctx.stats);
 }
 
 TEST(QueryStatsEpilogueTest, NormalRunStillFillsStats) {
@@ -69,6 +83,10 @@ TEST(QueryStatsEpilogueTest, NormalRunStillFillsStats) {
   EXPECT_GT(ctx.stats.index_node_accesses, 0u);
   EXPECT_EQ(ctx.stats.results, result.size());
   EXPECT_GE(ctx.stats.candidates, ctx.stats.results);
+  // A normal run visits a non-empty boundary shell: the rejected
+  // candidates must be reported, not folded into the hit count.
+  EXPECT_GT(ctx.stats.visited_rejected, 0u);
+  ExpectCandidateInvariant(ctx.stats);
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Perf regression guard for the BENCH_*.json trajectories.
+
+Compares a freshly generated bench JSON against the committed baseline and
+fails (exit 1) when a comparable row regressed beyond tolerance.
+
+Rows are matched on the experiment knobs (data size, query size fraction,
+fetch model, thread count); rows present in only one file — e.g. the full
+baseline's sizes that a --quick CI run skips — are ignored, so the
+committed baselines can come from full runs while CI smokes the quick
+subset.
+
+Two tolerance regimes, because the two quantity classes behave differently
+across machines:
+  * counters (candidates, geometry loads, redundant validations) are
+    deterministic given the seeds and must stay within --counter-tol of
+    the baseline (default 35%, covering the rep-count difference between
+    quick and full runs of the same seeded query stream);
+  * wall-clock times vary with the host, so only a slowdown beyond
+    --time-tol x baseline (default 3x) fails — the guard catches
+    structural regressions (an O(n) slip, a dropped fast path), not CI
+    machine jitter.
+
+Usage: check_bench_regression.py BASELINE NEW [--time-tol X] [--counter-tol F]
+"""
+
+import argparse
+import json
+import sys
+
+KEY_FIELDS = (
+    "data_size",
+    "query_size_fraction",
+    "simulated_fetch_ns",
+    "blocking_fetch",
+    "num_threads",
+)
+COUNTER_FIELDS = ("candidates", "geometry_loads", "redundant")
+TIME_FIELDS = ("time_ms",)
+METHODS = ("traditional", "voronoi")
+
+
+def row_key(row):
+    return tuple(row.get(k) for k in KEY_FIELDS)
+
+
+def describe(key):
+    return ", ".join(f"{k}={v}" for k, v in zip(KEY_FIELDS, key))
+
+
+def check_micro_flood(baseline, new, time_tol, counter_tol, failures):
+    """BENCH_micro_flood.json rows: flat, keyed by query size."""
+    base_by_key = {(r["data_size"], r["query_size_fraction"]): r
+                   for r in baseline}
+    compared = 0
+    for row in new:
+        key = (row["data_size"], row["query_size_fraction"])
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        compared += 1
+        for field in ("candidates", "results", "neighbor_expansions"):
+            check_counter(f"flood[{key}].{field}", base[field], row[field],
+                          counter_tol, failures)
+        check_time(f"flood[{key}].time_ms", base["time_ms"], row["time_ms"],
+                   time_tol, failures)
+    return compared
+
+
+def check_counter(label, base, new, tol, failures):
+    if base == 0 and new == 0:
+        return
+    ref = max(abs(base), 1e-12)
+    drift = abs(new - base) / ref
+    if drift > tol:
+        failures.append(
+            f"{label}: counter drifted {drift * 100.0:.1f}% "
+            f"(baseline {base}, new {new}, tol {tol * 100.0:.0f}%)")
+
+
+def check_time(label, base, new, tol, failures):
+    if base <= 0.0:
+        return
+    if new > base * tol:
+        failures.append(
+            f"{label}: {new:.4f} ms vs baseline {base:.4f} ms "
+            f"(> {tol:.1f}x slower)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    parser.add_argument("--time-tol", type=float, default=3.0)
+    parser.add_argument("--counter-tol", type=float, default=0.35)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    failures = []
+    if baseline and "traditional" not in baseline[0]:
+        compared = check_micro_flood(baseline, new, args.time_tol,
+                                     args.counter_tol, failures)
+    else:
+        base_by_key = {row_key(r): r for r in baseline}
+        compared = 0
+        for row in new:
+            base = base_by_key.get(row_key(row))
+            if base is None:
+                continue
+            compared += 1
+            where = describe(row_key(row))
+            for method in METHODS:
+                for field in COUNTER_FIELDS:
+                    check_counter(f"[{where}] {method}.{field}",
+                                  base[method][field], row[method][field],
+                                  args.counter_tol, failures)
+                for field in TIME_FIELDS:
+                    check_time(f"[{where}] {method}.{field}",
+                               base[method][field], row[method][field],
+                               args.time_tol, failures)
+            if row.get("mismatches", 0) != 0:
+                failures.append(f"[{where}] result-set mismatches: "
+                                f"{row['mismatches']}")
+
+    name = args.baseline
+    if compared == 0:
+        print(f"{name}: no comparable rows (different knob grid) - skipped")
+        return 0
+    if failures:
+        print(f"{name}: {len(failures)} regression(s) over {compared} "
+              f"compared row(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"{name}: OK ({compared} row(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
