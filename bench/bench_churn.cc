@@ -1,0 +1,47 @@
+// Churn bench: the dynamic-update workload — interleaved insert/delete/
+// query streams against a DynamicPointDatabase — at a few database sizes
+// and operation mixes. Reports mutation and query rates, compaction
+// counts and (always) cross-method mismatches, which must be zero.
+//
+// Usage: bench_churn [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "workload/churn.h"
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::size_t sizes[] = {quick ? std::size_t{5000} : std::size_t{20000},
+                               quick ? std::size_t{20000}
+                                     : std::size_t{100000}};
+  int failures = 0;
+  for (const std::size_t n : sizes) {
+    // A mutation-heavy mix and a query-heavy mix per size.
+    for (const double query_share : {0.3, 0.7}) {
+      vaq::ChurnConfig config;
+      config.initial_size = n;
+      config.operations = quick ? 2000 : 20000;
+      config.insert_fraction = (1.0 - query_share) * 0.55;
+      config.erase_fraction = (1.0 - query_share) * 0.45;
+      config.verify_every = quick ? 500 : 2000;
+      config.seed = 42 + n;
+      const vaq::ChurnReport report = vaq::RunChurnExperiment(config);
+      std::ostringstream os;
+      vaq::PrintChurnReport(config, report, os);
+      std::fputs(os.str().c_str(), stdout);
+      if (report.mismatches != 0) ++failures;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "FAIL: %d churn cells reported mismatches\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -103,7 +103,21 @@ int main(int argc, char** argv) {
 
   std::printf("# %zu points, %zu-vertex query area (%.4g of its MBR)\n",
               points.size(), area.size(), area.Area() / area.Bounds().Area());
-  PointDatabase db(std::move(points));
+  // The database enforces pairwise distinctness (the Delaunay builder's
+  // precondition); report the offending rows in the caller's frame — the
+  // point order of the input file (comment/blank lines excluded).
+  std::unique_ptr<PointDatabase> db_holder;
+  try {
+    db_holder = std::make_unique<PointDatabase>(std::move(points));
+  } catch (const DuplicatePointError& e) {
+    std::fprintf(stderr,
+                 "error: %s: duplicate point (%.17g, %.17g) at input rows "
+                 "%zu and %zu (0-based, comment/blank lines excluded)\n",
+                 points_path.c_str(), e.point().x, e.point().y,
+                 e.first_index(), e.second_index());
+    return 1;
+  }
+  const PointDatabase& db = *db_holder;
 
   if (method == "voronoi" || method == "all") {
     RunOne(db, VoronoiAreaQuery(&db), area, print_ids && method != "all");

@@ -15,6 +15,21 @@ namespace vaq {
 /// block's SoA arrays stay in L1.
 inline constexpr std::size_t kRefineBlock = 256;
 
+/// Boundary resolution both kernels below share: `inside[j]` becomes the
+/// exact `Contains` verdict — O(1) from the grid class away from the
+/// boundary band, the exact point test only inside it. Any tuning of this
+/// step (epsilons, fast paths) must stay common to the static refine and
+/// dynamic delta paths, which are required to agree bit-for-bit.
+inline void ResolveInsideFlags(const PreparedArea& prep, const double* xs,
+                               const double* ys, std::size_t m,
+                               const unsigned char* cls, bool* inside) {
+  for (std::size_t j = 0; j < m; ++j) {
+    inside[j] = cls[j] == PreparedArea::kPointInside ||
+                (cls[j] == PreparedArea::kPointBoundary &&
+                 prep.Contains({xs[j], ys[j]}));
+  }
+}
+
 /// The batched refine kernel every query method shares: streams the
 /// candidate ids through the database's batched object-IO boundary in
 /// `kRefineBlock`-sized blocks — gather coordinates (`FetchPoints`,
@@ -41,12 +56,31 @@ void ForEachRefinedBlock(const PointDatabase& db, const PreparedArea& prep,
     const std::size_t m = std::min(kRefineBlock, n - base);
     db.FetchPoints(ids + base, m, xs, ys, stats);
     prep.ClassifyPoints(xs, ys, m, cls);
-    for (std::size_t j = 0; j < m; ++j) {
-      inside[j] = cls[j] == PreparedArea::kPointInside ||
-                  (cls[j] == PreparedArea::kPointBoundary &&
-                   prep.Contains({xs[j], ys[j]}));
-    }
+    ResolveInsideFlags(prep, xs, ys, m, cls, inside);
     per_block(ids + base, m, xs, ys, inside);
+  }
+}
+
+/// The same classification kernel over caller-owned SoA coordinate streams
+/// — no id gather and no object-IO charge. This is the delta-refine pass
+/// of the dynamic database: the delta buffer already *is* SoA and memory-
+/// resident (a memtable), so the only work left is the blocked grid
+/// classification plus exact boundary resolution. Hands each block to
+///
+///   per_block(std::size_t offset, std::size_t m, const bool* inside)
+///
+/// where `inside[j]` is `prep.polygon().Contains({xs[offset+j], ...})`.
+template <typename Fn>
+void ForEachClassifiedBlock(const PreparedArea& prep, const double* xs,
+                            const double* ys, std::size_t n,
+                            Fn&& per_block) {
+  unsigned char cls[kRefineBlock];
+  bool inside[kRefineBlock];
+  for (std::size_t base = 0; base < n; base += kRefineBlock) {
+    const std::size_t m = std::min(kRefineBlock, n - base);
+    prep.ClassifyPoints(xs + base, ys + base, m, cls);
+    ResolveInsideFlags(prep, xs + base, ys + base, m, cls, inside);
+    per_block(base, m, inside);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <numeric>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -10,6 +13,48 @@
 namespace vaq {
 
 namespace {
+
+std::string DuplicateMessage(const Point& p, std::size_t first,
+                             std::size_t second) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "PointDatabase: duplicate point (" << p.x << ", " << p.y
+     << ") at input positions " << first << " and " << second
+     << " (points must be pairwise distinct)";
+  return os.str();
+}
+
+/// Enforces the pairwise-distinct precondition: a lexicographic sort of
+/// the input positions brings equal coordinates together, so one adjacent
+/// scan finds any duplicate pair — and reports it in the caller's frame of
+/// reference (input positions), before the Hilbert permutation renames
+/// everything. O(n log n), same complexity class as the build itself.
+/// Non-finite coordinates are rejected first: NaN breaks the strict weak
+/// ordering the sort needs (and NaN != NaN would let duplicates through),
+/// and infinities collapse the Hilbert/bounding-box arithmetic.
+std::vector<Point> CheckPairwiseDistinct(std::vector<Point> points) {
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!std::isfinite(points[i].x) || !std::isfinite(points[i].y)) {
+      std::ostringstream os;
+      os << "PointDatabase: non-finite coordinate at input position " << i
+         << " (coordinates must be finite)";
+      throw std::invalid_argument(os.str());
+    }
+  }
+  std::vector<std::uint32_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (points[a] != points[b]) return points[a] < points[b];
+              return a < b;  // Deterministic report: lowest pair first.
+            });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (points[order[i - 1]] == points[order[i]]) {
+      throw DuplicatePointError(points[order[i]], order[i - 1], order[i]);
+    }
+  }
+  return points;
+}
 
 /// Permutes `points` into Hilbert-curve order over their bounding box and
 /// records the internal→original mapping in `*to_original`.
@@ -26,6 +71,15 @@ std::vector<Point> HilbertCluster(std::vector<Point> points,
 
 }  // namespace
 
+DuplicatePointError::DuplicatePointError(const Point& point,
+                                         std::size_t first_index,
+                                         std::size_t second_index)
+    : std::invalid_argument(
+          DuplicateMessage(point, first_index, second_index)),
+      point_(point),
+      first_index_(first_index),
+      second_index_(second_index) {}
+
 void PointDatabase::SimulateFetchLatency(std::size_t n) const {
   const auto wait = std::chrono::nanoseconds(
       static_cast<long>(simulated_fetch_ns_ * static_cast<double>(n)));
@@ -40,7 +94,10 @@ void PointDatabase::SimulateFetchLatency(std::size_t n) const {
 }
 
 PointDatabase::PointDatabase(std::vector<Point> points, Options options)
-    : points_(HilbertCluster(std::move(points), &to_original_)),
+    : points_(HilbertCluster(options.skip_distinctness_check
+                                 ? std::move(points)
+                                 : CheckPairwiseDistinct(std::move(points)),
+                             &to_original_)),
       rtree_(options.rtree_max_entries, options.rtree_min_entries),
       delaunay_(points_, /*hilbert_sorted=*/true) {
   to_internal_.resize(points_.size());

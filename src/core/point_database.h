@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/query_stats.h"
@@ -13,6 +15,28 @@
 #include "index/rtree.h"
 
 namespace vaq {
+
+/// Thrown by `PointDatabase` when the input violates the "points are
+/// pairwise distinct" precondition. Feeding duplicate generators to the
+/// Delaunay builder is undefined input, so the violation is diagnosed at
+/// the construction boundary instead of corrupting the triangulation.
+/// `first_index`/`second_index` are positions in the constructor's input
+/// vector (the caller's frame of reference, before Hilbert relabelling),
+/// so a file-driven caller can point at the offending rows.
+class DuplicatePointError : public std::invalid_argument {
+ public:
+  DuplicatePointError(const Point& point, std::size_t first_index,
+                      std::size_t second_index);
+
+  const Point& point() const { return point_; }
+  std::size_t first_index() const { return first_index_; }
+  std::size_t second_index() const { return second_index_; }
+
+ private:
+  Point point_;
+  std::size_t first_index_;
+  std::size_t second_index_;
+};
 
 /// The "spatial database" of the paper's experiments: a set of distinct
 /// points plus the two access structures both query methods share —
@@ -43,11 +67,20 @@ class PointDatabase {
   struct Options {
     int rtree_max_entries = 16;
     int rtree_min_entries = 6;
+    /// Skip the O(n) finiteness and O(n log n) pairwise-distinct
+    /// enforcement: the caller asserts the points are finite and
+    /// distinct. Only for internal rebuild paths that maintain the
+    /// invariants themselves (the dynamic layer's compaction); external
+    /// construction should keep the checks.
+    bool skip_distinctness_check = false;
   };
 
   /// Builds the database: Hilbert-relabels the points, bulk-loads the
   /// R-tree from the clustered array and triangulates.
-  /// Precondition: points are pairwise distinct.
+  /// The points must be finite and pairwise distinct; a duplicate pair
+  /// raises `DuplicatePointError` naming both input positions and a
+  /// non-finite coordinate raises `std::invalid_argument` (the
+  /// preconditions are enforced, not assumed).
   explicit PointDatabase(std::vector<Point> points)
       : PointDatabase(std::move(points), Options{}) {}
   PointDatabase(std::vector<Point> points, Options options);

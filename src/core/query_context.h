@@ -93,6 +93,16 @@ class QueryContext {
     return candidates_;
   }
 
+  /// Delta-scan scratch of the dynamic-database wrapper (see
+  /// `DynamicAreaQuery`): collects the stable ids of delta-buffer hits
+  /// before they are merged into the base result. A third buffer —
+  /// distinct from `ScratchQueue`/`ScratchCandidates` — because the
+  /// wrapped base query may still own those when the delta pass runs.
+  std::vector<PointId>& ScratchDelta() {
+    delta_hits_.clear();
+    return delta_hits_;
+  }
+
   /// Per-query index IO counters, reset and ready to pass to index calls.
   IndexStats& ScratchIndexStats() {
     index_stats_.Reset();
@@ -109,10 +119,32 @@ class QueryContext {
   /// tests the query will run against the polygon — sizes the grid so the
   /// one-time build cost amortises (see `PreparedArea::SuggestGridSide`);
   /// 0 falls back to the polygon-complexity default.
+  ///
+  /// Memoized: if the context's accelerator already holds this exact
+  /// polygon (compared by value against an owned vertex copy — a previous
+  /// query's polygon freed and reallocated at the same address cannot
+  /// false-hit) on a grid at least as fine as requested, the build is
+  /// skipped. A wrapper whose inner query prepared the same polygon (the
+  /// dynamic delta pass) therefore just calls `Prepared` again and gets
+  /// the inner build back; repeated identical queries skip the rebuild
+  /// too. The O(m) vertex compare is noise next to the grid build.
   const PreparedArea& Prepared(const Polygon& area,
                                std::size_t expected_tests = 0) {
-    prepared_.Prepare(
-        area, PreparedArea::SuggestGridSide(area.size(), expected_tests));
+    const int side =
+        PreparedArea::SuggestGridSide(area.size(), expected_tests);
+    if (prepared_side_ >= side &&
+        prepared_vertices_ == area.vertices()) {
+      // The structure may have been built over a different (equal-valued)
+      // polygon object that no longer exists — e.g. the previous engine
+      // task's copy; repoint it at the caller's live polygon before the
+      // residual exact tests dereference it. (A degenerate prepared
+      // structure holds no polygon and never dereferences one.)
+      if (prepared_.prepared()) prepared_.RebindPolygon(area);
+      return prepared_;
+    }
+    prepared_.Prepare(area, side);
+    prepared_side_ = side;
+    prepared_vertices_ = area.vertices();
     return prepared_;
   }
 
@@ -147,8 +179,13 @@ class QueryContext {
   std::uint32_t epoch_ = 0;
   std::vector<PointId> queue_;
   std::vector<PointId> candidates_;
+  std::vector<PointId> delta_hits_;
   IndexStats index_stats_;
   PreparedArea prepared_;
+  /// Memo key of `prepared_`: the prepared polygon's vertices (owned
+  /// copy) and grid side; side -1 = nothing prepared yet.
+  std::vector<Point> prepared_vertices_;
+  int prepared_side_ = -1;
   std::vector<std::uint64_t> sort_bitmap_;
 };
 

@@ -36,6 +36,14 @@ struct QueryStats {
   /// `candidates == candidate_hits + visited_rejected` is checkable
   /// instead of being hidden by `candidate_hits = results`.
   std::uint64_t visited_rejected = 0;
+  /// Of `candidates`, how many came from a dynamic database's in-memory
+  /// delta buffer (see `DynamicPointDatabase`). Delta candidates are
+  /// validated like any other candidate (they participate in the
+  /// `candidates == candidate_hits + visited_rejected` invariant) but are
+  /// *not* charged as `geometry_loads`: the delta buffer is the memtable a
+  /// log-structured store keeps resident, so scanning it costs no object
+  /// IO. Always 0 for queries on an immutable `PointDatabase`.
+  std::uint64_t delta_candidates = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -60,6 +68,7 @@ struct QueryStats {
     segment_tests += o.segment_tests;
     bulk_accepted += o.bulk_accepted;
     visited_rejected += o.visited_rejected;
+    delta_candidates += o.delta_candidates;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

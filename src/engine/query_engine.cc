@@ -129,6 +129,7 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.neighbor_expansions += result.stats.neighbor_expansions;
       m.bulk_accepted += result.stats.bulk_accepted;
       m.visited_rejected += result.stats.visited_rejected;
+      m.delta_candidates += result.stats.delta_candidates;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -157,6 +158,7 @@ EngineStats QueryEngine::Stats() const {
       agg.neighbor_expansions += m.neighbor_expansions;
       agg.bulk_accepted += m.bulk_accepted;
       agg.visited_rejected += m.visited_rejected;
+      agg.delta_candidates += m.delta_candidates;
       agg.total_query_ms += m.total_query_ms;
     }
   }

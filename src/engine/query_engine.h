@@ -46,6 +46,9 @@ struct MethodEngineStats {
   /// Candidates validated but rejected (see
   /// `QueryStats::visited_rejected`).
   std::uint64_t visited_rejected = 0;
+  /// Candidates scanned out of a dynamic database's delta buffer (see
+  /// `QueryStats::delta_candidates`); 0 for static methods.
+  std::uint64_t delta_candidates = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 

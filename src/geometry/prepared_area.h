@@ -101,6 +101,17 @@ class PreparedArea {
   static std::size_t EstimateMbrShare(std::size_t n, const Box& domain,
                                       const Box& mbr);
 
+  /// Rebinds the accelerated-polygon reference to `area`, with no
+  /// rebuild. Every derived structure depends only on the vertex values,
+  /// so this is sound precisely when `area` is value-equal (same vertices
+  /// in the same order) to the polygon this structure was prepared over —
+  /// the caller's guarantee. `QueryContext`'s memo uses it so a cached
+  /// grid can serve an equal polygon at a different address after the
+  /// originally-prepared object has died; without the rebind, the
+  /// residual exact tests would dereference the dead original.
+  /// Precondition: `prepared()`.
+  void RebindPolygon(const Polygon& area) { polygon_ = &area; }
+
   /// True once `Prepare` ran on a non-degenerate polygon.
   bool prepared() const { return polygon_ != nullptr; }
 

@@ -1,5 +1,7 @@
 #include "workload/dataset_io.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -10,13 +12,37 @@ namespace {
 
 constexpr char kMagic[4] = {'V', 'A', 'Q', 'P'};
 
+/// True iff `field[used..)` is only trailing whitespace — i.e. the numeric
+/// parse consumed the whole field. Guards against rows like "1.0,2.0junk"
+/// or "1,2,3" parsing as valid points (stod stops at the first non-numeric
+/// character and reports success for the prefix).
+bool OnlyTrailingSpace(const std::string& field, std::size_t used) {
+  for (; used < field.size(); ++used) {
+    const unsigned char c = static_cast<unsigned char>(field[used]);
+    if (!std::isspace(c)) return false;
+  }
+  return true;
+}
+
 bool ParseCsvPoint(const std::string& line, Point* p) {
   const std::size_t comma = line.find(',');
   if (comma == std::string::npos) return false;
   try {
     std::size_t used_x = 0, used_y = 0;
-    const double x = std::stod(line.substr(0, comma), &used_x);
-    const double y = std::stod(line.substr(comma + 1), &used_y);
+    const std::string x_field = line.substr(0, comma);
+    const std::string y_field = line.substr(comma + 1);
+    const double x = std::stod(x_field, &used_x);
+    const double y = std::stod(y_field, &used_y);
+    // A second comma lands in y_field and stops the parse there, so the
+    // trailing check also rejects extra columns.
+    if (!OnlyTrailingSpace(x_field, used_x) ||
+        !OnlyTrailingSpace(y_field, used_y)) {
+      return false;
+    }
+    // stod happily parses "nan" and "inf", which poison every geometric
+    // structure downstream (NaN even breaks the ordering the distinctness
+    // check relies on); coordinates must be finite.
+    if (!std::isfinite(x) || !std::isfinite(y)) return false;
     *p = Point{x, y};
     return true;
   } catch (...) {
@@ -50,12 +76,27 @@ bool LoadPointsBinary(const std::string& path, std::vector<Point>* points) {
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!in) return false;
+  // The on-disk count is untrusted input: bound it by the payload bytes
+  // actually present before reserving, or a corrupt/truncated header could
+  // demand a multi-GB allocation (and then fail anyway) on a tiny file.
+  const std::istream::pos_type payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type file_end = in.tellg();
+  if (payload_start == std::istream::pos_type(-1) ||
+      file_end == std::istream::pos_type(-1) || file_end < payload_start) {
+    return false;
+  }
+  const std::uint64_t payload_bytes =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  if (count > payload_bytes / (2 * sizeof(double))) return false;
+  in.seekg(payload_start);
   points->reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     double x, y;
     in.read(reinterpret_cast<char*>(&x), sizeof(double));
     in.read(reinterpret_cast<char*>(&y), sizeof(double));
-    if (!in) {
+    // Non-finite payload is as corrupt as a short one (see ParseCsvPoint).
+    if (!in || !std::isfinite(x) || !std::isfinite(y)) {
       points->clear();
       return false;
     }

@@ -19,7 +19,10 @@ namespace vaq {
 ///  * CSV points: one "x,y" pair per line ('#' comments allowed) — easy
 ///    interchange with external tools;
 ///  * CSV polygon: one "x,y" vertex per line in ring order.
-/// All loaders return false on malformed input and leave outputs empty.
+/// All loaders return false on malformed input — including rows with
+/// trailing non-numeric content or extra columns, non-finite coordinates
+/// (nan/inf), and binary headers whose count exceeds the actual payload —
+/// and leave outputs empty.
 
 bool SavePointsBinary(const std::string& path,
                       const std::vector<Point>& points);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -120,6 +121,135 @@ TEST(DatasetIoTest, PolygonNeedsThreeVertices) {
   std::ofstream(path) << "0,0\n1,1\n";
   Polygon loaded;
   EXPECT_FALSE(LoadPolygonCsv(path, &loaded));
+  std::remove(path.c_str());
+}
+
+// -- Input-boundary hardening corpus ----------------------------------------
+//
+// The loaders face untrusted files; every row here used to (or could)
+// slip through the parser and either load a corrupted point or demand an
+// absurd allocation. See ParseCsvPoint / LoadPointsBinary.
+
+TEST(DatasetIoTest, CsvRejectsTrailingGarbageOnEitherField) {
+  const std::string path = TempPath("trailing.csv");
+  std::vector<Point> loaded;
+  for (const char* row :
+       {"1.0,2.0garbage", "1.0garbage,2.0", "1.0,2.0 junk", "1.0,2.0e",
+        "0x,1.0"}) {
+    std::ofstream(path) << row << "\n";
+    EXPECT_FALSE(LoadPointsCsv(path, &loaded)) << "row: " << row;
+    EXPECT_TRUE(loaded.empty()) << "row: " << row;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRejectsExtraColumns) {
+  const std::string path = TempPath("columns.csv");
+  std::ofstream(path) << "1.0,2.0,3.0\n";
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsCsv(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRejectsEmptyFields) {
+  const std::string path = TempPath("emptyfield.csv");
+  std::vector<Point> loaded;
+  for (const char* row : {"1.0,", ",2.0", ","}) {
+    std::ofstream(path) << row << "\n";
+    EXPECT_FALSE(LoadPointsCsv(path, &loaded)) << "row: " << row;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvAcceptsSurroundingWhitespaceAndCrlf) {
+  // stod skips leading whitespace and the trailing check tolerates it —
+  // including the '\r' a Windows-written file leaves on every line.
+  const std::string path = TempPath("whitespace.csv");
+  std::ofstream(path) << " 1.5 , 2.5 \n3.0,4.0\r\n";
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsCsv(path, &loaded));
+  EXPECT_EQ(loaded, (std::vector<Point>{{1.5, 2.5}, {3.0, 4.0}}));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvRejectsNonFiniteCoordinates) {
+  // stod accepts "nan"/"inf" spellings, but non-finite coordinates poison
+  // every geometric structure downstream (a NaN point once segfaulted the
+  // CLI through the Delaunay build) — the parse boundary rejects them.
+  const std::string path = TempPath("nonfinite.csv");
+  std::vector<Point> loaded;
+  for (const char* row : {"nan,0.5", "0.5,nan", "inf,0.5", "0.5,-inf",
+                          "NAN,0.5", "0.5,Infinity"}) {
+    std::ofstream(path) << row << "\n";
+    EXPECT_FALSE(LoadPointsCsv(path, &loaded)) << "row: " << row;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsNonFinitePayload) {
+  const std::string path = TempPath("nonfinite.vaqp");
+  std::ofstream out(path, std::ios::binary);
+  out.write("VAQP", 4);
+  const std::uint64_t count = 2;
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const double payload[4] = {0.25, 0.75,
+                             std::numeric_limits<double>::quiet_NaN(), 0.5};
+  out.write(reinterpret_cast<const char*>(payload), sizeof(payload));
+  out.close();
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, CsvScientificNotationStillParses) {
+  const std::string path = TempPath("sci.csv");
+  std::ofstream(path) << "1.5e-3,-2.5E+2\n";
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsCsv(path, &loaded));
+  EXPECT_EQ(loaded, (std::vector<Point>{{1.5e-3, -2.5e+2}}));
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsHugeCountHeaderWithoutAllocating) {
+  // A corrupt header claiming ~1e18 points must fail on the payload-size
+  // bound, not reach the reserve and OOM. The allocation-free rejection is
+  // what the ASan CI job guards.
+  const std::string path = TempPath("huge_count.vaqp");
+  std::ofstream out(path, std::ios::binary);
+  out.write("VAQP", 4);
+  const std::uint64_t absurd = std::uint64_t{1} << 60;
+  out.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  const double payload[2] = {1.0, 2.0};
+  out.write(reinterpret_cast<const char*>(payload), sizeof(payload));
+  out.close();
+  std::vector<Point> loaded;
+  EXPECT_FALSE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_LT(loaded.capacity(), std::size_t{1} << 20);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, BinaryRejectsCountBeyondPayload) {
+  // A count one past the actual payload must fail, and an exact count must
+  // keep passing — the bound is tight.
+  Rng rng(9);
+  const auto points =
+      GenerateUniformPoints(16, Box::FromExtents(0, 0, 1, 1), &rng);
+  const std::string path = TempPath("overcount.vaqp");
+  ASSERT_TRUE(SavePointsBinary(path, points));
+  std::vector<Point> loaded;
+  ASSERT_TRUE(LoadPointsBinary(path, &loaded));
+  EXPECT_EQ(loaded, points);
+  // Patch the count header (offset 4) to claim one extra point.
+  std::fstream patch(path, std::ios::binary | std::ios::in | std::ios::out);
+  const std::uint64_t inflated = points.size() + 1;
+  patch.seekp(4);
+  patch.write(reinterpret_cast<const char*>(&inflated), sizeof(inflated));
+  patch.close();
+  EXPECT_FALSE(LoadPointsBinary(path, &loaded));
+  EXPECT_TRUE(loaded.empty());
   std::remove(path.c_str());
 }
 

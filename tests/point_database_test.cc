@@ -1,6 +1,9 @@
 #include "core/point_database.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -94,6 +97,58 @@ TEST(QueryStatsTest, AccumulateAndRedundancy) {
   EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
   a.Reset();
   EXPECT_EQ(a.candidates, 0u);
+}
+
+// -- Pairwise-distinct enforcement ------------------------------------------
+
+TEST(PointDatabaseTest, DuplicatePointsThrowWithInputPositions) {
+  // The documented precondition is enforced at the construction boundary,
+  // and the error speaks the caller's frame of reference: positions in the
+  // input vector, before the Hilbert relabelling.
+  const std::vector<Point> points{
+      {0.1, 0.1}, {0.5, 0.5}, {0.9, 0.2}, {0.5, 0.5}, {0.3, 0.8}};
+  try {
+    PointDatabase db(points);
+    FAIL() << "duplicate input must throw";
+  } catch (const DuplicatePointError& e) {
+    EXPECT_EQ(e.point(), Point(0.5, 0.5));
+    EXPECT_EQ(e.first_index(), 1u);
+    EXPECT_EQ(e.second_index(), 3u);
+    EXPECT_NE(std::string(e.what()).find("0.5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("pairwise distinct"),
+              std::string::npos);
+  }
+}
+
+TEST(PointDatabaseTest, DuplicateDetectionSeesNonAdjacentPairs) {
+  // Duplicates split by many other points (and by the Hilbert reorder)
+  // must still be caught — the check is global, not neighbour-only.
+  Rng rng(77);
+  auto points = GenerateUniformPoints(2000, kUnit, &rng);
+  points.push_back(points[13]);
+  EXPECT_THROW(PointDatabase db(std::move(points)), DuplicatePointError);
+}
+
+TEST(PointDatabaseTest, NonFiniteCoordinatesThrow) {
+  // NaN would break the strict weak ordering of the distinctness sort
+  // (and NaN != NaN would admit duplicates), so non-finite input is
+  // rejected before anything else runs.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(
+      PointDatabase db(std::vector<Point>{{0.1, 0.1}, {nan, 0.5}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PointDatabase db(std::vector<Point>{{0.1, 0.1}, {0.5, inf}}),
+      std::invalid_argument);
+}
+
+TEST(PointDatabaseTest, DistinctPointsDoNotThrow) {
+  // Near-duplicates (distinct in the last ulp) are legal input.
+  const double x = 0.5;
+  const double next = std::nextafter(x, 1.0);
+  EXPECT_NO_THROW(PointDatabase db(
+      std::vector<Point>{{x, 0.5}, {next, 0.5}, {x, next}, {0.1, 0.9}}));
 }
 
 }  // namespace

@@ -86,5 +86,43 @@ TEST(QueryContextTest, ScratchBuffersComeBackCleared) {
   EXPECT_EQ(ctx.ScratchIndexStats().node_accesses, 0u);
 }
 
+TEST(QueryContextTest, PreparedMemoSurvivesDeathOfOriginalPolygon) {
+  // Regression (use-after-free): `Prepared` memoizes on polygon value, so
+  // an equal-valued polygon at a *different address* — whose original has
+  // been destroyed, as happens when a QueryEngine task's polygon copy
+  // dies between two identical submissions — gets the cached grid back.
+  // The cached structure must be rebound to the caller's live polygon, or
+  // the residual exact tests dereference the dead one (caught under the
+  // ASan CI job).
+  Rng rng(91);
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.2;
+  const Polygon original = GenerateQueryPolygon(spec, kUnit, &rng);
+
+  QueryContext ctx;
+  Rng prng(17);
+  std::vector<bool> first_verdicts;
+  {
+    // Prepared over a temporary copy that dies at scope end.
+    const Polygon doomed = original;
+    const PreparedArea& prep = ctx.Prepared(doomed, 10000);
+    for (int i = 0; i < 500; ++i) {
+      first_verdicts.push_back(
+          prep.Contains({prng.Uniform(0, 1), prng.Uniform(0, 1)}));
+    }
+  }
+  // Memo hit with the original (equal value, different address): verdicts
+  // must match both the first pass and the naive polygon tests.
+  const Polygon alive = original;
+  const PreparedArea& prep = ctx.Prepared(alive, 10000);
+  Rng prng2(17);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{prng2.Uniform(0, 1), prng2.Uniform(0, 1)};
+    EXPECT_EQ(prep.Contains(p), first_verdicts[i]) << "point " << i;
+    EXPECT_EQ(prep.Contains(p), alive.Contains(p)) << "point " << i;
+  }
+  EXPECT_EQ(&prep.polygon(), &alive);  // Rebound, not dangling.
+}
+
 }  // namespace
 }  // namespace vaq
