@@ -9,44 +9,40 @@
 
 namespace vaq {
 
-std::vector<PointId> DynamicAreaQuery::Run(const Polygon& area,
-                                           QueryContext& ctx) const {
+std::vector<PointId> RunDynamicSnapshotQuery(
+    const DynamicPointDatabase::Snapshot& snap, DynamicMethod method,
+    const Polygon& area, QueryContext& ctx) {
   const auto t0 = std::chrono::steady_clock::now();
-  // Pin the version: everything below reads this snapshot only, so the
-  // query is immune to concurrent mutations and compactions.
-  const std::shared_ptr<const DynamicPointDatabase::Snapshot> snap =
-      db_->snapshot();
 
   // Base pass: the wrapped implementation resets and fills ctx.stats.
-  std::vector<PointId> result =
-      snap->BaseQuery(method_).Run(area, ctx);
+  std::vector<PointId> result = snap.BaseQuery(method).Run(area, ctx);
 
   // Remap base-internal ids to stable ids, dropping tombstoned hits in
   // place. A tombstoned hit stays a validated candidate (it was fetched
   // and passed the geometry test) — it just is not a result.
   std::size_t live = 0;
   for (const PointId id : result) {
-    if (!snap->IsTombstoned(id)) result[live++] = snap->StableId(id);
+    if (!snap.IsTombstoned(id)) result[live++] = snap.StableId(id);
   }
   result.resize(live);
 
   // Delta-refine pass: stream the snapshot's SoA delta buffer through the
   // blocked classification kernel. No object IO — the buffer is the
   // memtable — but the scans are candidates like any other.
-  const std::size_t dn = snap->delta_size();
+  const std::size_t dn = snap.delta_size();
   if (dn > 0) {
     std::vector<PointId>& delta_hits = ctx.ScratchDelta();
-    if (method_ == DynamicMethod::kBruteForce) {
+    if (method == DynamicMethod::kBruteForce) {
       // The brute-force wrapper stays PreparedArea-independent on the
       // delta too (see BruteForceAreaQuery): it is the ground truth the
       // cross-method checks compare against, so a shared PreparedArea
       // bug must not fail all four dynamic methods identically. The
       // exact scan is fine — the delta is threshold-bounded.
-      snap->ForEachDeltaRun([&](std::size_t run_offset, const double* xs,
+      snap.ForEachDeltaRun([&](std::size_t run_offset, const double* xs,
                                 const double* ys, std::size_t n) {
         for (std::size_t j = 0; j < n; ++j) {
           if (area.Contains({xs[j], ys[j]})) {
-            delta_hits.push_back(snap->DeltaStableId(run_offset + j));
+            delta_hits.push_back(snap.DeltaStableId(run_offset + j));
           }
         }
       });
@@ -57,7 +53,7 @@ std::vector<PointId> DynamicAreaQuery::Run(const Polygon& area,
       // e.g. the voronoi flood's empty-base early return — pay a fresh
       // delta-sized build.
       const PreparedArea& prep = ctx.Prepared(area, dn);
-      snap->ForEachDeltaRun([&](std::size_t run_offset, const double* xs,
+      snap.ForEachDeltaRun([&](std::size_t run_offset, const double* xs,
                                 const double* ys, std::size_t n) {
         ForEachClassifiedBlock(
             prep, xs, ys, n,
@@ -65,7 +61,7 @@ std::vector<PointId> DynamicAreaQuery::Run(const Polygon& area,
               for (std::size_t j = 0; j < m; ++j) {
                 if (inside[j]) {
                   delta_hits.push_back(
-                      snap->DeltaStableId(run_offset + offset + j));
+                      snap.DeltaStableId(run_offset + offset + j));
                 }
               }
             });
@@ -80,12 +76,21 @@ std::vector<PointId> DynamicAreaQuery::Run(const Polygon& area,
 
   // The two contributions are individually sorted but interleave in the
   // stable id space; one sort over the merged set restores the contract.
-  ctx.SortIds(result, snap->stable_limit());
+  ctx.SortIds(result, snap.stable_limit());
   ctx.stats.results = result.size();
   ctx.stats.elapsed_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
   return result;
+}
+
+std::vector<PointId> DynamicAreaQuery::Run(const Polygon& area,
+                                           QueryContext& ctx) const {
+  // Pin the version: the execution reads this snapshot only, so the query
+  // is immune to concurrent mutations and compactions.
+  const std::shared_ptr<const DynamicPointDatabase::Snapshot> snap =
+      db_->snapshot();
+  return RunDynamicSnapshotQuery(*snap, method_, area, ctx);
 }
 
 }  // namespace vaq

@@ -6,6 +6,18 @@
 
 namespace vaq {
 
+/// Runs one area query against an already-pinned snapshot: base pass with
+/// the selected method, tombstone filter, stable-id remap, delta-refine
+/// pass, merge and sort. This is the body of `DynamicAreaQuery::Run` minus
+/// the pin, exposed so callers that must hold several snapshots consistent
+/// with each other — the sharded scatter-gather layer pins one version of
+/// every shard up front — can execute against the exact version they
+/// pinned instead of whatever is current when the sub-query runs.
+/// `ctx.stats` is reset and filled like any `AreaQuery::Run`.
+std::vector<PointId> RunDynamicSnapshotQuery(
+    const DynamicPointDatabase::Snapshot& snap, DynamicMethod method,
+    const Polygon& area, QueryContext& ctx);
+
 /// Area query over a `DynamicPointDatabase`: pins the current snapshot,
 /// runs the selected base implementation (voronoi / traditional /
 /// grid-sweep / brute-force) over the immutable base, then merges a

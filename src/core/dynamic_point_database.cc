@@ -17,8 +17,12 @@ Point NormalizedKey(const Point& p) { return Point{p.x + 0.0, p.y + 0.0}; }
 DynamicPointDatabase::DynamicPointDatabase(std::vector<Point> initial,
                                            Options options)
     : options_(options) {
-  auto bundle =
-      std::make_shared<const BaseBundle>(std::move(initial), options_.base);
+  auto mutable_bundle =
+      std::make_shared<BaseBundle>(std::move(initial), options_.base,
+                                   options_.voronoi);
+  mutable_bundle->db.set_simulated_fetch_ns(options_.simulated_fetch_ns);
+  mutable_bundle->db.set_fetch_latency_model(options_.fetch_latency_model);
+  std::shared_ptr<const BaseBundle> bundle = std::move(mutable_bundle);
   const std::size_t n = bundle->db.size();
   // Stable ids of the initial points are their input positions, which is
   // exactly what the base's internal→original permutation records.
@@ -189,8 +193,12 @@ void DynamicPointDatabase::CompactLocked() {
   // Delaunay fast path wholesale.
   PointDatabase::Options rebuild_options = options_.base;
   rebuild_options.skip_distinctness_check = true;
-  auto bundle =
-      std::make_shared<const BaseBundle>(std::move(merged), rebuild_options);
+  auto mutable_bundle =
+      std::make_shared<BaseBundle>(std::move(merged), rebuild_options,
+                                   options_.voronoi);
+  mutable_bundle->db.set_simulated_fetch_ns(options_.simulated_fetch_ns);
+  mutable_bundle->db.set_fetch_latency_model(options_.fetch_latency_model);
+  std::shared_ptr<const BaseBundle> bundle = std::move(mutable_bundle);
   const std::size_t n = bundle->db.size();
   auto stable = std::make_shared<std::vector<PointId>>(n);
   // The location table is rebuilt off to the side and swapped in with the

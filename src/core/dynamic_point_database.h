@@ -81,16 +81,29 @@ class DynamicPointDatabase {
     std::size_t compact_threshold = 0;
     /// Disable to compact only on explicit `Compact()` calls.
     bool auto_compact = true;
+    /// Simulated object-IO configuration applied to every built base —
+    /// the initial one and every compaction rebuild (the per-database
+    /// setters on `PointDatabase` would be lost at the first rebuild).
+    /// See `PointDatabase::set_simulated_fetch_ns`.
+    double simulated_fetch_ns = 0.0;
+    PointDatabase::FetchLatencyModel fetch_latency_model =
+        PointDatabase::FetchLatencyModel::kBusyWait;
+    /// Configuration of the voronoi query object bundled with every base.
+    /// The sharded layer overrides the expansion rule here: the paper's
+    /// segment rule has a completeness caveat that partitioning amplifies
+    /// (see `ShardedDatabase`).
+    VoronoiAreaQuery::Options voronoi;
   };
 
   /// The immutable base plus the query objects bound to it. Shared by
   /// every snapshot between two compactions; rebuilt as a unit so the
   /// query objects' database pointers can never dangle.
   struct BaseBundle {
-    BaseBundle(std::vector<Point> points, const PointDatabase::Options& o)
+    BaseBundle(std::vector<Point> points, const PointDatabase::Options& o,
+               const VoronoiAreaQuery::Options& voronoi_options = {})
         : db(std::move(points), o),
           traditional(&db),
-          voronoi(&db),
+          voronoi(&db, voronoi_options),
           grid_sweep(&db),
           brute(&db) {}
     BaseBundle(const BaseBundle&) = delete;

@@ -33,6 +33,26 @@ std::string DuplicateMessage(const Point& p, std::size_t first,
 /// ordering the sort needs (and NaN != NaN would let duplicates through),
 /// and infinities collapse the Hilbert/bounding-box arithmetic.
 std::vector<Point> CheckPairwiseDistinct(std::vector<Point> points) {
+  CheckFiniteAndDistinct(points);
+  return points;
+}
+
+/// Permutes `points` into Hilbert-curve order over their bounding box and
+/// records the internal→original mapping in `*to_original`.
+std::vector<Point> HilbertCluster(std::vector<Point> points,
+                                  std::vector<PointId>* to_original) {
+  *to_original = HilbertOrder(points);
+  std::vector<Point> clustered;
+  clustered.reserve(points.size());
+  for (const PointId original : *to_original) {
+    clustered.push_back(points[original]);
+  }
+  return clustered;
+}
+
+}  // namespace
+
+void CheckFiniteAndDistinct(const std::vector<Point>& points) {
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (!std::isfinite(points[i].x) || !std::isfinite(points[i].y)) {
       std::ostringstream os;
@@ -53,23 +73,7 @@ std::vector<Point> CheckPairwiseDistinct(std::vector<Point> points) {
       throw DuplicatePointError(points[order[i]], order[i - 1], order[i]);
     }
   }
-  return points;
 }
-
-/// Permutes `points` into Hilbert-curve order over their bounding box and
-/// records the internal→original mapping in `*to_original`.
-std::vector<Point> HilbertCluster(std::vector<Point> points,
-                                  std::vector<PointId>* to_original) {
-  *to_original = HilbertOrder(points);
-  std::vector<Point> clustered;
-  clustered.reserve(points.size());
-  for (const PointId original : *to_original) {
-    clustered.push_back(points[original]);
-  }
-  return clustered;
-}
-
-}  // namespace
 
 DuplicatePointError::DuplicatePointError(const Point& point,
                                          std::size_t first_index,

@@ -38,6 +38,15 @@ class DuplicatePointError : public std::invalid_argument {
   std::size_t second_index_;
 };
 
+/// Enforces the construction preconditions every database layer shares:
+/// all coordinates finite (`std::invalid_argument` otherwise) and points
+/// pairwise distinct (`DuplicatePointError` naming both input positions
+/// otherwise). O(n log n). `PointDatabase` runs it at construction; the
+/// sharded layer runs it once over the whole input *before* partitioning,
+/// so a duplicate pair that would be split across shard boundaries is
+/// still reported in the caller's frame of reference.
+void CheckFiniteAndDistinct(const std::vector<Point>& points);
+
 /// The "spatial database" of the paper's experiments: a set of distinct
 /// points plus the two access structures both query methods share —
 /// an R-tree (window queries and the seed NN lookup) and the Delaunay

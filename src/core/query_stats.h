@@ -44,6 +44,13 @@ struct QueryStats {
   /// log-structured store keeps resident, so scanning it costs no object
   /// IO. Always 0 for queries on an immutable `PointDatabase`.
   std::uint64_t delta_candidates = 0;
+  /// Scatter-gather accounting of a sharded query (see `ShardedAreaQuery`):
+  /// shards whose sub-query actually ran vs. shards skipped because their
+  /// MBR was classified outside the area (or they held no live points).
+  /// `shards_hit + shards_pruned` equals the database's shard count.
+  /// Always 0 for unsharded queries.
+  std::uint64_t shards_hit = 0;
+  std::uint64_t shards_pruned = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -69,6 +76,8 @@ struct QueryStats {
     bulk_accepted += o.bulk_accepted;
     visited_rejected += o.visited_rejected;
     delta_candidates += o.delta_candidates;
+    shards_hit += o.shards_hit;
+    shards_pruned += o.shards_pruned;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

@@ -120,6 +120,19 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
   const double* ys = db_->ys();
   const bool paper_rule =
       options_.expansion == ExpansionRule::kPaperSegment;
+  // Cell-overlap completeness rests on cells tiling the *plane*, but the
+  // materialised cells only tile the clip box. When A sticks out of the
+  // box (a query against one shard of a partitioned database, or a query
+  // hugging the data boundary), the parts of A outside the box are
+  // covered by no materialised cell, and A ∩ box may even be
+  // disconnected — the flood would stall at the box border. Restoring
+  // the tiling argument: a *clipped* cell's true extent reaches beyond
+  // the box, so treat every clipped cell as intersecting the escaped
+  // part of A. The clipped cells form a connected ring (they include the
+  // whole hull), so every lobe of A re-entering the box is reachable.
+  const VoronoiDiagram* vd = paper_rule ? nullptr : &db_->voronoi();
+  const bool area_escapes_clip_box =
+      vd != nullptr && !vd->clip_box().Contains(area.Bounds());
 
   const PointId* rows[kRefineBlock];
   std::uint32_t lens[kRefineBlock];
@@ -197,7 +210,8 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
                 }
               }
             } else {
-              follow = CellIntersectsArea(pn, prep);
+              follow = CellIntersectsArea(pn, prep) ||
+                       (area_escapes_clip_box && vd->CellWasClipped(pn));
             }
             if (follow) {
               visit.MarkIfUnvisited(pn);

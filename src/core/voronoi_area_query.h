@@ -32,7 +32,13 @@ class VoronoiAreaQuery : public AreaQuery {
     /// Follow the edge iff the Voronoi cell of `pn` intersects A. Provably
     /// complete for any connected query area (cells tile the plane, so the
     /// cells meeting A form a connected patch of the dual graph), at the
-    /// cost of cell-vs-polygon tests. Benchmarked as an ablation.
+    /// cost of cell-vs-polygon tests. The materialised cells only tile the
+    /// diagram's clip box, so when A extends beyond it — a shard of a
+    /// partitioned database answering a cross-shard area, or a query
+    /// hugging the data boundary — clipped cells are additionally treated
+    /// as intersecting A, which restores the plane-tiling argument (see
+    /// `VoronoiDiagram::CellWasClipped`). Benchmarked as an ablation; the
+    /// sharded layer forces this rule for its legs.
     kCellOverlap,
   };
 

@@ -22,22 +22,24 @@ std::uint64_t HilbertD(std::uint32_t order, std::uint32_t x, std::uint32_t y) {
   return d;
 }
 
-std::vector<std::uint32_t> HilbertOrder(const std::vector<Point>& points) {
+std::uint64_t HilbertKeyInBox(const Box& domain, const Point& p) {
   constexpr std::uint32_t kOrder = 16;
   constexpr double kCells = 65535.0;  // 2^16 - 1.
+  const double w = std::max(domain.Width(), 1e-300);
+  const double h = std::max(domain.Height(), 1e-300);
+  const double fx = std::clamp((p.x - domain.min.x) / w, 0.0, 1.0);
+  const double fy = std::clamp((p.y - domain.min.y) / h, 0.0, 1.0);
+  return HilbertD(kOrder, static_cast<std::uint32_t>(fx * kCells),
+                  static_cast<std::uint32_t>(fy * kCells));
+}
 
+std::vector<std::uint32_t> HilbertOrder(const std::vector<Point>& points) {
   Box bounds;
   for (const Point& p : points) bounds.ExpandToInclude(p);
-  const double w = std::max(bounds.Width(), 1e-300);
-  const double h = std::max(bounds.Height(), 1e-300);
 
   std::vector<std::uint64_t> keys(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto gx = static_cast<std::uint32_t>(
-        (points[i].x - bounds.min.x) / w * kCells);
-    const auto gy = static_cast<std::uint32_t>(
-        (points[i].y - bounds.min.y) / h * kCells);
-    keys[i] = HilbertD(kOrder, gx, gy);
+    keys[i] = HilbertKeyInBox(bounds, points[i]);
   }
   std::vector<std::uint32_t> order(points.size());
   for (std::size_t i = 0; i < order.size(); ++i) {

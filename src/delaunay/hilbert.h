@@ -17,6 +17,13 @@ namespace vaq {
 /// 2^order cells) for integer cell coordinates (x, y).
 std::uint64_t HilbertD(std::uint32_t order, std::uint32_t x, std::uint32_t y);
 
+/// Curve distance of `p` on the order-16 grid over `domain` — the key
+/// `HilbertOrder` sorts by, exposed so callers that partition by curve
+/// ranges (the sharding layer) can route points with the exact arithmetic
+/// the ordering used. Coordinates outside `domain` are clamped to the
+/// border cells, so every point has a key and routing stays total.
+std::uint64_t HilbertKeyInBox(const Box& domain, const Point& p);
+
 /// Returns the permutation of `[0, points.size())` that orders `points`
 /// along a Hilbert curve over their bounding box (order-16 grid).
 std::vector<std::uint32_t> HilbertOrder(const std::vector<Point>& points);

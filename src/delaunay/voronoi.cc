@@ -8,10 +8,12 @@
 namespace vaq {
 
 VoronoiDiagram::VoronoiDiagram(const DelaunayTriangulation& dt,
-                               const Box& clip_box) {
+                               const Box& clip_box)
+    : clip_box_(clip_box) {
   const std::size_t n = dt.num_points();
   generators_.reserve(n);
   cells_.resize(n);
+  clipped_.assign(n, 0);
   for (PointId v = 0; v < n; ++v) {
     generators_.push_back(dt.point(v));
     std::vector<Point> ring;
@@ -20,6 +22,16 @@ VoronoiDiagram::VoronoiDiagram(const DelaunayTriangulation& dt,
       ring.push_back(Circumcenter(dt.point(verts[0]), dt.point(verts[1]),
                                   dt.point(verts[2])));
     });
+    // A raw circumcenter outside the box means the true cell reaches
+    // beyond it (hull cells via the far super-triangle circumcenters,
+    // interior cells via sliver-triangle circumcenters), so the clip
+    // below trims it. Recorded before clipping destroys the evidence.
+    for (const Point& c : ring) {
+      if (!clip_box.Contains(c)) {
+        clipped_[v] = 1;
+        break;
+      }
+    }
     // CirculateCell yields triangles in CCW order around the generator, so
     // the circumcenters already form a CCW convex ring.
     cells_[v] = ClipRingToBox(ring, clip_box);

@@ -36,6 +36,17 @@ class VoronoiDiagram {
   /// May be empty if the cell lies entirely outside the clip box.
   const std::vector<Point>& cell(PointId v) const { return cells_[v]; }
 
+  /// The box every cell was clipped to.
+  const Box& clip_box() const { return clip_box_; }
+
+  /// True if clipping trimmed cell `v`: the true (possibly unbounded)
+  /// cell extends beyond `clip_box()`. Consumers reasoning about regions
+  /// outside the clip box — the cell-overlap expansion rule, whose
+  /// completeness argument needs cells that *tile the plane*, not just
+  /// the box — must treat a clipped cell as potentially covering any
+  /// outside region (see `VoronoiAreaQuery::ExpansionRule::kCellOverlap`).
+  bool CellWasClipped(PointId v) const { return clipped_[v] != 0; }
+
   /// Area of cell `v` after clipping.
   double CellArea(PointId v) const;
 
@@ -50,8 +61,10 @@ class VoronoiDiagram {
   double TotalArea() const;
 
  private:
+  Box clip_box_;
   std::vector<Point> generators_;
   std::vector<std::vector<Point>> cells_;
+  std::vector<char> clipped_;
 };
 
 }  // namespace vaq

@@ -9,19 +9,21 @@ namespace vaq {
 
 namespace {
 
-/// Nearest-rank percentile of an ascending-sorted sample vector.
-double Percentile(const std::vector<double>& sorted, double q) {
+/// Per-worker cap on retained latency samples; reaching it halves the
+/// samples and doubles the recording stride (see WorkerState).
+constexpr std::size_t kMaxLatencySamples = 1 << 16;
+
+/// The engine whose WorkerLoop is running on this thread, if any.
+thread_local const QueryEngine* current_worker_engine = nullptr;
+
+}  // namespace
+
+double NearestRankPercentile(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   const std::size_t rank = static_cast<std::size_t>(
       std::ceil(q * static_cast<double>(sorted.size())));
   return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
 }
-
-/// Per-worker cap on retained latency samples; reaching it halves the
-/// samples and doubles the recording stride (see WorkerState).
-constexpr std::size_t kMaxLatencySamples = 1 << 16;
-
-}  // namespace
 
 QueryEngine::QueryEngine(EngineOptions options)
     : queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
@@ -74,6 +76,20 @@ std::future<QueryResult> QueryEngine::Submit(Polygon area, int method) {
   return future;
 }
 
+std::future<QueryResult> QueryEngine::SubmitWith(const AreaQuery* query,
+                                                 Polygon area) {
+  Task task;
+  task.area = std::move(area);
+  task.query = query;
+  task.method = -1;  // Ad-hoc: excluded from engine statistics.
+  task.submitted = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = task.promise.get_future();
+  if (!queue_.Push(std::move(task))) {
+    throw std::runtime_error("QueryEngine::SubmitWith: engine is shut down");
+  }
+  return future;
+}
+
 std::vector<QueryResult> QueryEngine::RunBatch(std::span<const Polygon> areas,
                                                int method) {
   std::vector<std::future<QueryResult>> futures;
@@ -85,7 +101,12 @@ std::vector<QueryResult> QueryEngine::RunBatch(std::span<const Polygon> areas,
   return results;
 }
 
+bool QueryEngine::OnWorkerThread() const {
+  return current_worker_engine == this;
+}
+
 void QueryEngine::WorkerLoop(WorkerState* state) {
+  current_worker_engine = this;
   while (std::optional<Task> task = queue_.Pop()) {
     QueryResult result;
     try {
@@ -101,6 +122,13 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - task->submitted)
             .count();
+
+    if (task->method < 0) {
+      // Ad-hoc fan-out leg (SubmitWith): deliver the result but keep it
+      // out of the engine's client-query statistics.
+      task->promise.set_value(std::move(result));
+      continue;
+    }
 
     {
       std::lock_guard<std::mutex> lock(state->mu);
@@ -130,6 +158,8 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.bulk_accepted += result.stats.bulk_accepted;
       m.visited_rejected += result.stats.visited_rejected;
       m.delta_candidates += result.stats.delta_candidates;
+      m.shards_hit += result.stats.shards_hit;
+      m.shards_pruned += result.stats.shards_pruned;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -159,6 +189,8 @@ EngineStats QueryEngine::Stats() const {
       agg.bulk_accepted += m.bulk_accepted;
       agg.visited_rejected += m.visited_rejected;
       agg.delta_candidates += m.delta_candidates;
+      agg.shards_hit += m.shards_hit;
+      agg.shards_pruned += m.shards_pruned;
       agg.total_query_ms += m.total_query_ms;
     }
   }
@@ -173,9 +205,9 @@ EngineStats QueryEngine::Stats() const {
         static_cast<double>(out.queries_completed) / (out.wall_ms / 1000.0);
   }
   std::sort(latencies.begin(), latencies.end());
-  out.latency_p50_ms = Percentile(latencies, 0.50);
-  out.latency_p95_ms = Percentile(latencies, 0.95);
-  out.latency_p99_ms = Percentile(latencies, 0.99);
+  out.latency_p50_ms = NearestRankPercentile(latencies, 0.50);
+  out.latency_p95_ms = NearestRankPercentile(latencies, 0.95);
+  out.latency_p99_ms = NearestRankPercentile(latencies, 0.99);
   return out;
 }
 

@@ -49,6 +49,10 @@ struct MethodEngineStats {
   /// Candidates scanned out of a dynamic database's delta buffer (see
   /// `QueryStats::delta_candidates`); 0 for static methods.
   std::uint64_t delta_candidates = 0;
+  /// Scatter-gather accounting of sharded methods (see
+  /// `QueryStats::shards_hit`/`shards_pruned`); 0 for unsharded methods.
+  std::uint64_t shards_hit = 0;
+  std::uint64_t shards_pruned = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 
@@ -66,6 +70,13 @@ struct EngineStats {
   /// Per-method IO and work counters, indexed by registration order.
   std::vector<MethodEngineStats> methods;
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample vector: the
+/// smallest sample whose rank is >= q * n (so p50 of [1..100] is 50, p99
+/// is 99); 0.0 on an empty vector. This is the estimator behind
+/// `EngineStats::latency_p50_ms`/`p95`/`p99`, exposed so its order
+/// statistics are testable against known distributions directly.
+double NearestRankPercentile(const std::vector<double>& sorted, double q);
 
 /// Executes area queries on a fixed pool of worker threads.
 ///
@@ -102,6 +113,16 @@ class QueryEngine {
   /// Blocks while the work queue is full.
   std::future<QueryResult> Submit(Polygon area, int method = 0);
 
+  /// Enqueues one query against an ad-hoc query object that was never
+  /// registered — the scatter path of `ShardedAreaQuery`, whose per-shard
+  /// sub-queries are ephemeral objects bound to a pinned snapshot.
+  /// `query` must stay alive until the returned future resolves (the
+  /// caller waits on it before destroying the object). Ad-hoc executions
+  /// are internal fan-out legs of one client query: they are excluded
+  /// from `Stats()` (completed counts, latency percentiles, per-method
+  /// counters), which keeps engine statistics in units of client queries.
+  std::future<QueryResult> SubmitWith(const AreaQuery* query, Polygon area);
+
   /// Runs every polygon through `method` across the pool and returns the
   /// results in input order — identical to running them sequentially,
   /// whatever the thread interleaving (each query is independent and the
@@ -115,11 +136,18 @@ class QueryEngine {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// True when called from one of *this* engine's worker threads. The
+  /// self-submission guard: a task that blocks on futures of its own
+  /// pool can deadlock it (workers waiting on work only those same
+  /// workers could pop), so composite queries check this and fall back
+  /// to inline execution (see `ShardedAreaQuery`).
+  bool OnWorkerThread() const;
+
  private:
   struct Task {
     Polygon area;
     const AreaQuery* query;
-    int method;
+    int method;  // Registered method id, or < 0 for an ad-hoc SubmitWith.
     std::chrono::steady_clock::time_point submitted;
     std::promise<QueryResult> promise;
   };

@@ -1,0 +1,133 @@
+#include "shard/sharded_area_query.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/dynamic_area_query.h"
+#include "geometry/prepared_area.h"
+
+namespace vaq {
+
+namespace {
+
+/// One scatter leg: the selected method against one pinned shard view,
+/// hits remapped to global stable ids. Internal to the scatter-gather —
+/// it deliberately skips the per-leg sort (`AreaQuery` contract), because
+/// global ids interleave across shards anyway and the gather runs one
+/// sort over the merged set.
+class ShardLegQuery final : public AreaQuery {
+ public:
+  ShardLegQuery(const ShardedDatabase::ShardView* view, DynamicMethod method)
+      : view_(view), method_(method) {}
+
+  std::vector<PointId> Run(const Polygon& area,
+                           QueryContext& ctx) const override {
+    std::vector<PointId> ids =
+        RunDynamicSnapshotQuery(*view_->snap, method_, area, ctx);
+    for (PointId& id : ids) id = view_->ids->Global(id);
+    return ids;
+  }
+
+  std::string_view Name() const override { return "shard-leg"; }
+
+ private:
+  const ShardedDatabase::ShardView* view_;
+  DynamicMethod method_;
+};
+
+}  // namespace
+
+std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
+                                           QueryContext& ctx) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Pin one cross-shard version: every leg below queries the exact shard
+  // snapshots recorded here, immune to concurrent mutations and to skew
+  // between shards.
+  const std::shared_ptr<const ShardedDatabase::Snapshot> snap =
+      db_->snapshot();
+
+  // Prune: O(1) conservative box test per shard. Empty shards are counted
+  // as pruned too (their MBR may be stale-empty or missing).
+  const PreparedArea& prep = ctx.Prepared(area);
+  std::vector<const ShardedDatabase::ShardView*> survivors;
+  survivors.reserve(snap->shards().size());
+  std::uint64_t pruned = 0;
+  for (const ShardedDatabase::ShardView& view : snap->shards()) {
+    if (view.snap->live_size() == 0 ||
+        prep.ClassifyBox(view.mbr) == PreparedArea::Region::kOutside) {
+      ++pruned;
+    } else {
+      survivors.push_back(&view);
+    }
+  }
+
+  // Scatter + gather. Per-leg stats merge by summation — `QueryStats`
+  // counters are all additive, so the epilogue invariant survives.
+  QueryStats merged;
+  std::vector<PointId> result;
+  // Self-submission guard: if this query is itself executing on a worker
+  // of its scatter engine (it was registered with the same pool — the
+  // documented deadlock configuration), scattering would block this
+  // worker on legs that may only ever be queued behind more blocked
+  // parents. Degrade to inline legs instead of hanging.
+  const bool scatter = scatter_engine_ != nullptr && survivors.size() > 1 &&
+                       !scatter_engine_->OnWorkerThread();
+  if (scatter) {
+    std::vector<ShardLegQuery> legs;
+    legs.reserve(survivors.size());
+    for (const ShardedDatabase::ShardView* view : survivors) {
+      legs.emplace_back(view, method_);
+    }
+    // Every submitted leg must be drained before this frame can unwind:
+    // the pool executes legs through pointers into `legs` and the pinned
+    // snapshot, so propagating an exception with futures outstanding
+    // would turn the remaining queued legs into use-after-frees. Collect
+    // the first error, finish the gather, then rethrow.
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(legs.size());
+    std::exception_ptr first_error;
+    for (const ShardLegQuery& leg : legs) {
+      try {
+        futures.push_back(scatter_engine_->SubmitWith(&leg, area));
+      } catch (...) {
+        first_error = std::current_exception();
+        break;  // Submit no further legs; drain the ones in flight.
+      }
+    }
+    for (std::future<QueryResult>& f : futures) {
+      try {
+        QueryResult r = f.get();
+        merged += r.stats;
+        result.insert(result.end(), r.ids.begin(), r.ids.end());
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+    }
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  } else {
+    for (const ShardedDatabase::ShardView* view : survivors) {
+      const ShardLegQuery leg(view, method_);
+      std::vector<PointId> ids = leg.Run(area, ctx);
+      merged += ctx.stats;
+      result.insert(result.end(), ids.begin(), ids.end());
+    }
+  }
+
+  // Per-shard results are disjoint global-id sets; one sort restores the
+  // ascending contract over the merged list.
+  ctx.SortIds(result, snap->stable_limit());
+  merged.shards_hit = survivors.size();
+  merged.shards_pruned = pruned;
+  merged.results = result.size();
+  merged.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  ctx.stats = merged;
+  return result;
+}
+
+}  // namespace vaq

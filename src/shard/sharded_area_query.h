@@ -1,0 +1,80 @@
+#ifndef VAQ_SHARD_SHARDED_AREA_QUERY_H_
+#define VAQ_SHARD_SHARDED_AREA_QUERY_H_
+
+#include "core/area_query.h"
+#include "core/dynamic_point_database.h"
+#include "engine/query_engine.h"
+#include "shard/sharded_database.h"
+
+namespace vaq {
+
+/// Scatter-gather area query over a `ShardedDatabase`:
+///
+///  1. **Pin** one cross-shard snapshot, so every sub-query answers the
+///     same version of the database whatever mutations run concurrently.
+///  2. **Prune**: classify each live shard's MBR against the prepared
+///     query polygon (`PreparedArea::ClassifyBox`, O(1) per shard); a
+///     `kOutside` verdict skips the shard entirely. The MBRs are
+///     conservative (exact after compaction, grown by inserts), so a
+///     prune is always sound.
+///  3. **Scatter** the surviving shards: each runs the selected method
+///     (`RunDynamicSnapshotQuery`) against its pinned shard snapshot and
+///     remaps its hits to global stable ids. With a scatter engine the
+///     legs run as `QueryEngine::SubmitWith` jobs in parallel — under the
+///     blocking IO model the shards overlap their object fetches, which
+///     is where the sharded layout's throughput comes from; without one
+///     they run sequentially on the caller's context.
+///  4. **Gather**: concatenate the per-shard hits (global id ranges
+///     interleave, so one final `SortIds` restores the sorted contract)
+///     and merge the per-shard `QueryStats` by summation, which preserves
+///     the `candidates == candidate_hits + visited_rejected` invariant.
+///     `stats.shards_hit`/`shards_pruned` record the scatter fan-out
+///     (they always sum to the shard count); `elapsed_ms` is the
+///     end-to-end wall time of the whole scatter-gather, not the sum of
+///     the legs.
+///
+/// Stateless and engine-registrable like every `AreaQuery`. **Pool
+/// rule**: the scatter engine should be a pool dedicated to shard legs —
+/// a sharded query blocks its calling thread until its legs finish, so
+/// legs queued behind other sharded queries occupying every worker of
+/// the same pool would deadlock. Registering this query with its own
+/// scatter engine anyway is *safe but pointless*: `Run` detects that it
+/// is executing on a worker of the scatter pool and degrades to inline
+/// legs (`QueryEngine::OnWorkerThread`). (Fan-out legs are `SubmitWith`
+/// tasks, excluded from the scatter engine's client-facing `Stats()`.)
+class ShardedAreaQuery : public AreaQuery {
+ public:
+  /// `db` (and `scatter_engine`, if given) must outlive this object.
+  /// A null `scatter_engine` runs surviving shards sequentially inline —
+  /// same results and merged counters, no intra-query parallelism.
+  ShardedAreaQuery(const ShardedDatabase* db, DynamicMethod method,
+                   QueryEngine* scatter_engine = nullptr)
+      : db_(db), method_(method), scatter_engine_(scatter_engine) {}
+
+  using AreaQuery::Run;
+  std::vector<PointId> Run(const Polygon& area,
+                           QueryContext& ctx) const override;
+
+  std::string_view Name() const override {
+    switch (method_) {
+      case DynamicMethod::kVoronoi:
+        return "sharded-voronoi";
+      case DynamicMethod::kTraditional:
+        return "sharded-traditional";
+      case DynamicMethod::kGridSweep:
+        return "sharded-grid-sweep";
+      case DynamicMethod::kBruteForce:
+        break;
+    }
+    return "sharded-brute-force";
+  }
+
+ private:
+  const ShardedDatabase* db_;
+  DynamicMethod method_;
+  QueryEngine* scatter_engine_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_SHARD_SHARDED_AREA_QUERY_H_

@@ -30,6 +30,8 @@ void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->node_accesses += static_cast<double>(stats.index_node_accesses);
   avg->geometry_loads += static_cast<double>(stats.geometry_loads);
   avg->bulk_accepted += static_cast<double>(stats.bulk_accepted);
+  avg->shards_hit += static_cast<double>(stats.shards_hit);
+  avg->shards_pruned += static_cast<double>(stats.shards_pruned);
 }
 
 void Finish(MethodAverages* avg, int reps) {
@@ -39,6 +41,8 @@ void Finish(MethodAverages* avg, int reps) {
   avg->node_accesses /= reps;
   avg->geometry_loads /= reps;
   avg->bulk_accepted /= reps;
+  avg->shards_hit /= reps;
+  avg->shards_pruned /= reps;
   if (avg->batch_wall_ms > 0.0) {
     avg->throughput_qps = reps / (avg->batch_wall_ms / 1000.0);
   }
@@ -213,6 +217,8 @@ void WriteMethodJson(const MethodAverages& m, std::ostream& os) {
      << ", \"node_accesses\": " << m.node_accesses
      << ", \"geometry_loads\": " << m.geometry_loads
      << ", \"bulk_accepted\": " << m.bulk_accepted
+     << ", \"shards_hit\": " << m.shards_hit
+     << ", \"shards_pruned\": " << m.shards_pruned
      << ", \"batch_wall_ms\": " << m.batch_wall_ms
      << ", \"throughput_qps\": " << m.throughput_qps << "}";
 }

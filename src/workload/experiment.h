@@ -48,6 +48,10 @@ struct MethodAverages {
   /// Results bulk-accepted without per-point validation (see
   /// `QueryStats::bulk_accepted`).
   double bulk_accepted = 0.0;
+  /// Scatter-gather fan-out averages of a sharded method (see
+  /// `QueryStats::shards_hit`/`shards_pruned`); 0 for unsharded methods.
+  double shards_hit = 0.0;
+  double shards_pruned = 0.0;
   /// Wall-clock of the whole batch through the engine and the resulting
   /// queries/second (equals repetitions / wall when the pool is saturated).
   double batch_wall_ms = 0.0;

@@ -1,0 +1,101 @@
+// EngineStats percentile correctness: the nearest-rank estimator behind
+// latency_p50/p95/p99 fed with known distributions must land on the exact
+// expected order statistics (previously only smoke-tested as "p50 <= p95
+// <= p99"), plus the engine-level accounting around it.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_area_query.h"
+#include "core/point_database.h"
+#include "engine/query_engine.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+TEST(QueryEngineStatsTest, NearestRankPercentileExactOrderStatistics) {
+  // 1..100, one sample per integer: the q-th percentile is exactly the
+  // sample of rank ceil(q * 100).
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 1.00), 100.0);
+  // Below one full rank the estimator clamps to the smallest sample.
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(samples, 0.0), 1.0);
+}
+
+TEST(QueryEngineStatsTest, NearestRankPercentileSmallAndSkewedSamples) {
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({7.5}, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({7.5}, 0.99), 7.5);
+  // n=3: ranks are ceil(1.5)=2 and ceil(2.85)=3.
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({10.0, 20.0, 30.0}, 0.50), 20.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile({10.0, 20.0, 30.0}, 0.95), 30.0);
+  // A heavy-tailed distribution: 98 fast samples, 2 slow ones. p95 must
+  // stay on the fast plateau, p99 must reach the first slow sample.
+  std::vector<double> tail(98, 1.0);
+  tail.push_back(500.0);
+  tail.push_back(900.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(tail, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(tail, 0.99), 500.0);
+  // Duplicated-value distribution: percentiles sit on real samples.
+  std::vector<double> dup;
+  for (int i = 0; i < 60; ++i) dup.push_back(2.0);
+  for (int i = 0; i < 40; ++i) dup.push_back(4.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(dup, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(dup, 0.60), 2.0);
+  EXPECT_DOUBLE_EQ(NearestRankPercentile(dup, 0.61), 4.0);
+}
+
+TEST(QueryEngineStatsTest, EngineLatencyPercentilesAreCoherent) {
+  // End-to-end: the engine's reported percentiles come from real latency
+  // samples of completed queries — monotone across quantiles, positive,
+  // and counted per registered method only.
+  constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+  Rng rng(77);
+  const PointDatabase db(GenerateUniformPoints(2000, kUnit, &rng));
+  const BruteForceAreaQuery brute(&db);
+  QueryEngine engine({.num_threads = 2});
+  const int method = engine.RegisterMethod(&brute);
+
+  PolygonSpec spec;
+  spec.query_size_fraction = 0.05;
+  std::vector<Polygon> areas;
+  for (int i = 0; i < 64; ++i) {
+    areas.push_back(GenerateQueryPolygon(spec, kUnit, &rng));
+  }
+  engine.RunBatch(areas, method);
+
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.queries_completed, 64u);
+  ASSERT_EQ(stats.methods.size(), 1u);
+  EXPECT_EQ(stats.methods[0].queries, 64u);
+  EXPECT_GT(stats.latency_p50_ms, 0.0);
+  EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+  EXPECT_LE(stats.latency_p95_ms, stats.latency_p99_ms);
+
+  // Ad-hoc SubmitWith executions (the sharded scatter legs) deliver
+  // results but never pollute the client-query statistics.
+  for (int i = 0; i < 8; ++i) {
+    const QueryResult r = engine.SubmitWith(&brute, areas[i]).get();
+    EXPECT_EQ(r.stats.results, r.ids.size());
+  }
+  const EngineStats after = engine.Stats();
+  EXPECT_EQ(after.queries_completed, 64u);
+  EXPECT_EQ(after.methods[0].queries, 64u);
+
+  engine.ResetStats();
+  const EngineStats reset = engine.Stats();
+  EXPECT_EQ(reset.queries_completed, 0u);
+  EXPECT_DOUBLE_EQ(reset.latency_p50_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -136,5 +136,41 @@ TEST(VoronoiQueryModesTest, BothRulesValidateSimilarCandidateCounts) {
   }
 }
 
+TEST(VoronoiQueryModesTest, CellOverlapCompleteWhenAreaEscapesClipBox) {
+  // Regression for the clipped-cell escape hatch (found by the sharded
+  // differential bench): the materialised cells tile only the diagram's
+  // clip box, so a query polygon reaching beyond it can have a
+  // *disconnected* intersection with the box — here a U whose two prongs
+  // dip into the data's extent while the connecting bridge passes
+  // underneath it. Without treating clipped cells as intersecting the
+  // escaped part of A, the flood stalls at the box border and returns
+  // only the seed's prong.
+  Rng rng(93);
+  // Uniform data (a jittered grid's near-collinear hull rows grow long
+  // sliver Delaunay edges that can bridge the prong gap in one hop and
+  // mask the defect).
+  PointDatabase db(GenerateUniformPoints(
+      600, Box::FromExtents(0.40, 0.35, 0.60, 0.65), &rng));
+  const Polygon u_shape(std::vector<Point>{{0.40, 0.05},
+                                           {0.60, 0.05},
+                                           {0.60, 0.64},
+                                           {0.55, 0.64},
+                                           {0.55, 0.15},
+                                           {0.45, 0.15},
+                                           {0.45, 0.64},
+                                           {0.40, 0.64}});
+  ASSERT_TRUE(u_shape.IsSimple());
+  // The bridge lies below the (5%-inflated) clip box of the data.
+  ASSERT_LT(u_shape.Bounds().min.y, db.bounds().min.y - 0.1);
+
+  const std::vector<PointId> truth =
+      BruteForceAreaQuery(&db).Run(u_shape, nullptr);
+  ASSERT_GT(truth.size(), 0u);
+
+  VoronoiAreaQuery::Options options;
+  options.expansion = VoronoiAreaQuery::ExpansionRule::kCellOverlap;
+  EXPECT_EQ(VoronoiAreaQuery(&db, options).Run(u_shape, nullptr), truth);
+}
+
 }  // namespace
 }  // namespace vaq

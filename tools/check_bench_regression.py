@@ -34,6 +34,7 @@ KEY_FIELDS = (
     "simulated_fetch_ns",
     "blocking_fetch",
     "num_threads",
+    "num_shards",
 )
 COUNTER_FIELDS = ("candidates", "geometry_loads", "redundant")
 TIME_FIELDS = ("time_ms",)
@@ -67,11 +68,25 @@ def check_micro_flood(baseline, new, time_tol, counter_tol, failures):
     return compared
 
 
-def check_counter(label, base, new, tol, failures):
-    if base == 0 and new == 0:
+def check_counter(label, base, new, tol, failures, abs_floor=4.0):
+    """Relative-drift gate with a sane zero-baseline regime.
+
+    A zero baseline makes relative drift undefined (the old code divided
+    by an epsilon, reporting absurd "5e14%" drifts for any nonzero new
+    value), so zero baselines gate on an absolute floor instead: small
+    absolute counts appearing where the baseline had none (a new stats
+    field, a prune counter that was 0 on this row) pass; a counter class
+    materialising out of nowhere fails.
+    """
+    if base == new:
         return
-    ref = max(abs(base), 1e-12)
-    drift = abs(new - base) / ref
+    if base == 0:
+        if abs(new) > abs_floor:
+            failures.append(
+                f"{label}: baseline 0 but new value {new} "
+                f"(> absolute floor {abs_floor:g})")
+        return
+    drift = abs(new - base) / abs(base)
     if drift > tol:
         failures.append(
             f"{label}: counter drifted {drift * 100.0:.1f}% "

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Self-test for the perf-regression gate's matcher and tolerance logic.
+
+Plain unittest (stdlib only) so CI needs no extra packages; the test_*
+naming also makes it discoverable by pytest. Run from the repo root:
+
+    python3 -m unittest discover -s tools -p 'test_*.py'
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate
+
+
+class CounterToleranceTest(unittest.TestCase):
+    def check(self, base, new, tol=0.35, **kwargs):
+        failures = []
+        gate.check_counter("x", base, new, tol, failures, **kwargs)
+        return failures
+
+    def test_equal_passes(self):
+        self.assertEqual(self.check(100, 100), [])
+
+    def test_drift_within_tolerance_passes(self):
+        self.assertEqual(self.check(100, 134), [])
+        self.assertEqual(self.check(100, 67), [])
+
+    def test_drift_beyond_tolerance_fails(self):
+        self.assertEqual(len(self.check(100, 136)), 1)
+        self.assertEqual(len(self.check(100, 10)), 1)
+
+    def test_zero_baseline_zero_new_passes(self):
+        self.assertEqual(self.check(0, 0), [])
+
+    def test_zero_baseline_small_new_passes(self):
+        # The divide-by-zero regime: a counter that was 0 in the committed
+        # baseline (new stats field, prune count of 0 on that row) must
+        # not explode into an absurd relative drift.
+        self.assertEqual(self.check(0, 3), [])
+
+    def test_zero_baseline_large_new_fails(self):
+        failures = self.check(0, 5000)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("baseline 0", failures[0])
+
+    def test_zero_baseline_custom_floor(self):
+        self.assertEqual(self.check(0, 10, abs_floor=10), [])
+        self.assertEqual(len(self.check(0, 11, abs_floor=10)), 1)
+
+
+class TimeToleranceTest(unittest.TestCase):
+    def check(self, base, new, tol=3.0):
+        failures = []
+        gate.check_time("t", base, new, tol, failures)
+        return failures
+
+    def test_speedup_and_mild_slowdown_pass(self):
+        self.assertEqual(self.check(10.0, 1.0), [])
+        self.assertEqual(self.check(10.0, 29.9), [])
+
+    def test_gross_slowdown_fails(self):
+        self.assertEqual(len(self.check(10.0, 31.0)), 1)
+
+    def test_zero_baseline_time_is_skipped(self):
+        self.assertEqual(self.check(0.0, 100.0), [])
+
+
+class RowMatchingTest(unittest.TestCase):
+    def row(self, **overrides):
+        row = {
+            "data_size": 100000,
+            "query_size_fraction": 0.01,
+            "simulated_fetch_ns": 0.0,
+            "blocking_fetch": False,
+            "num_threads": 1,
+            "mismatches": 0,
+            "traditional": {"candidates": 100, "geometry_loads": 100,
+                            "redundant": 50, "time_ms": 1.0},
+            "voronoi": {"candidates": 60, "geometry_loads": 60,
+                        "redundant": 10, "time_ms": 0.5},
+        }
+        for key, value in overrides.items():
+            row[key] = value
+        return row
+
+    def run_gate(self, baseline, new, extra_args=()):
+        """End-to-end through main(), the way CI invokes it."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            new_path = os.path.join(tmp, "new.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(new_path, "w") as f:
+                json.dump(new, f)
+            script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "check_bench_regression.py")
+            return subprocess.run(
+                [sys.executable, script, base_path, new_path, *extra_args],
+                capture_output=True, text=True)
+
+    def test_identical_rows_pass(self):
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_unmatched_knob_grid_is_skipped(self):
+        result = self.run_gate([self.row()],
+                               [self.row(data_size=999)])
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("no comparable rows", result.stdout)
+
+    def test_sharded_rows_key_on_num_shards(self):
+        # Two rows differing only in num_shards must not be confused; a
+        # regression in the K=4 row is reported against the K=4 baseline.
+        k1 = self.row(num_shards=1)
+        k4 = self.row(num_shards=4)
+        k4_bad = self.row(num_shards=4)
+        k4_bad["traditional"] = dict(k4["traditional"], candidates=1000)
+        result = self.run_gate([k1, k4], [k1, k4_bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("num_shards=4", result.stdout)
+        self.assertNotIn("num_shards=1]", result.stdout)
+
+    def test_legacy_rows_without_num_shards_still_match(self):
+        # Committed baselines predate the num_shards key; both sides
+        # resolve it to None and keep matching.
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("within tolerance", result.stdout)
+
+    def test_result_set_mismatches_fail(self):
+        result = self.run_gate([self.row()], [self.row(mismatches=2)])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("mismatches", result.stdout)
+
+    def test_counter_regression_fails_and_names_the_row(self):
+        bad = self.row()
+        bad["voronoi"] = dict(bad["voronoi"], candidates=200)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("voronoi.candidates", result.stdout)
+
+    def test_micro_flood_shape(self):
+        base = [{"data_size": 1000, "query_size_fraction": 0.01,
+                 "candidates": 50, "results": 40,
+                 "neighbor_expansions": 60, "time_ms": 1.0}]
+        good = [dict(base[0], time_ms=1.5)]
+        self.assertEqual(self.run_gate(base, good).returncode, 0)
+        bad = [dict(base[0], candidates=500)]
+        self.assertEqual(self.run_gate(base, bad).returncode, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
