@@ -11,6 +11,9 @@
 // are the paper's primary effect (Fig. 5).
 //
 // Usage: bench_table1_data_size [--quick] [--threads] [--json]
+//                               [--data-size=N] [--reps=R]
+//                               [--backend=memory|mmap|mmap_uring]
+//                               [--cache-pages=C]
 //   --quick: 3 data sizes, 20 repetitions (CI smoke run). Default: the
 //   paper's full 10 sizes at 100 repetitions.
 //   --threads: additionally re-run every row through the QueryEngine at
@@ -18,10 +21,19 @@
 //   (blocking IO model, so the scaling is visible on any core count).
 //   --json: additionally write every row (RAW + IO model) to
 //   BENCH_table1.json in the working directory, for trajectory tracking.
+//   --data-size=N: run a single row at N points instead of the size grid
+//   (e.g. the 1E7 out-of-core row in README.md); --reps overrides the
+//   repetition count for such large runs.
+//   --backend/--cache-pages: serve geometry from an mmap page file behind
+//   an LRU cache of C 4-KiB pages instead of in-memory arrays (see
+//   src/storage/page_store.h) — with C pages smaller than the dataset
+//   this is the genuinely out-of-core regime. Candidate/result counts
+//   are backend-invariant; the page hit/miss columns become live.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "workload/experiment.h"
@@ -31,19 +43,43 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool threads = false;
   bool json = false;
+  std::size_t single_data_size = 0;
+  int reps_override = 0;
+  StorageBackend backend = StorageBackend::kInMemory;
+  std::size_t cache_pages = 4096;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-    if (std::strcmp(argv[i], "--threads") == 0) threads = true;
-    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--threads") threads = true;
+    if (arg == "--json") json = true;
+    if (arg.rfind("--data-size=", 0) == 0) {
+      single_data_size = std::stoull(arg.substr(12));
+    }
+    if (arg.rfind("--reps=", 0) == 0) reps_override = std::stoi(arg.substr(7));
+    if (arg.rfind("--cache-pages=", 0) == 0) {
+      cache_pages = std::stoull(arg.substr(14));
+    }
+    if (arg.rfind("--backend=", 0) == 0) {
+      const std::string name = arg.substr(10);
+      if (name == "memory") backend = StorageBackend::kInMemory;
+      else if (name == "mmap") backend = StorageBackend::kMmap;
+      else if (name == "mmap_uring") backend = StorageBackend::kMmapUring;
+      else {
+        std::cerr << "unknown backend: " << name << "\n";
+        return 1;
+      }
+    }
   }
 
   std::vector<std::size_t> data_sizes;
-  if (quick) {
+  if (single_data_size > 0) {
+    data_sizes = {single_data_size};
+  } else if (quick) {
     data_sizes = {100000, 300000, 500000};
   } else {
     for (int i = 1; i <= 10; ++i) data_sizes.push_back(100000u * i);
   }
-  const int reps = quick ? 20 : 100;
+  const int reps = reps_override > 0 ? reps_override : (quick ? 20 : 100);
 
   std::vector<ExperimentRow> all_rows;
   for (const double fetch_ns : {0.0, 1000.0}) {
@@ -55,10 +91,13 @@ int main(int argc, char** argv) {
       config.repetitions = reps;
       config.seed = 20200101;
       config.simulated_fetch_ns = fetch_ns;
+      config.storage_backend = backend;
+      config.page_cache_pages = cache_pages;
       rows.push_back(RunExperiment(config));
     }
     std::cout << "\n=== Table I (" << (fetch_ns > 0 ? "IO MODEL, 1us/fetch" : "RAW")
-              << "): query size 1%, " << reps << " reps/row ===\n";
+              << "): query size 1%, " << reps << " reps/row, backend "
+              << StorageBackendName(backend) << " ===\n";
     PrintPaperTable(rows, /*vary_query_size=*/false, std::cout);
     std::cout << "\n--- Fig. 4 (time) & Fig. 5 (redundant validations) series ---\n";
     PrintFigureSeries(rows, /*vary_query_size=*/false, std::cout);
@@ -66,6 +105,20 @@ int main(int argc, char** argv) {
     for (const ExperimentRow& r : rows) mismatches += r.mismatches;
     std::cout << "result-set mismatches between methods: " << mismatches
               << "\n";
+    if (backend != StorageBackend::kInMemory) {
+      std::cout << "--- page cache traffic per query (cache "
+                << cache_pages << " pages) ---\n"
+                << "data_size  trad: touched  hits  misses  |  "
+                   "voronoi: touched  hits  misses\n";
+      for (const ExperimentRow& r : rows) {
+        std::cout << r.config.data_size << "  " << r.traditional.pages_touched
+                  << "  " << r.traditional.page_cache_hits << "  "
+                  << r.traditional.page_cache_misses << "  |  "
+                  << r.voronoi.pages_touched << "  "
+                  << r.voronoi.page_cache_hits << "  "
+                  << r.voronoi.page_cache_misses << "\n";
+      }
+    }
     all_rows.insert(all_rows.end(), rows.begin(), rows.end());
   }
 
@@ -85,6 +138,8 @@ int main(int argc, char** argv) {
       config.seed = 20200101;
       config.simulated_fetch_ns = 20000.0;
       config.blocking_fetch = true;
+      config.storage_backend = backend;
+      config.page_cache_pages = cache_pages;
       std::cout << "\n=== Table I thread scaling: data size " << n
                 << " (blocking IO, 20us/fetch) ===\n";
       PrintThreadScalingTable(RunThreadSweep(config, {1, 2, 4, 8}),

@@ -5,8 +5,15 @@
 //
 // Usage:
 //   area_query_cli <points.{vaqp|csv}> <polygon.csv> [method] [--ids]
+//                  [--backend=memory|mmap|mmap_uring]
+//                  [--cache-pages=N] [--page-size=B]
 //     method: voronoi (default) | traditional | grid-sweep | brute | all
 //     --ids : print the matching point ids (one per line) after the stats
+//     --backend: what serves the point geometry — in-memory arrays
+//       (default) or an mmap page file behind an LRU cache of N pages of
+//       B bytes (see src/storage/page_store.h); out-of-core when N pages
+//       hold less than the dataset. Results are backend-invariant; the
+//       page columns of the stats line are live only on mmap backends.
 //
 // Point files: binary (VAQP magic, see workload/dataset_io.h) by ".vaqp"
 // extension, otherwise CSV "x,y" lines. Polygon files: CSV ring.
@@ -46,6 +53,12 @@ void RunOne(const PointDatabase& db, const AreaQuery& query,
               static_cast<unsigned long long>(stats.geometry_loads),
               static_cast<unsigned long long>(stats.index_node_accesses),
               stats.elapsed_ms);
+  if (db.storage_backend() != StorageBackend::kInMemory) {
+    std::printf("%-12s pages=%llu cache_hits=%llu cache_misses=%llu\n", "",
+                static_cast<unsigned long long>(stats.pages_touched),
+                static_cast<unsigned long long>(stats.page_cache_hits),
+                static_cast<unsigned long long>(stats.page_cache_misses));
+  }
   if (print_ids) {
     // Ids are printed in the caller's frame of reference: the database
     // stores points Hilbert-relabelled, so map each internal id back to
@@ -65,7 +78,9 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <points.{vaqp|csv}> <polygon.csv> "
-                 "[voronoi|traditional|grid-sweep|brute|all] [--ids]\n",
+                 "[voronoi|traditional|grid-sweep|brute|all] [--ids]\n"
+                 "       [--backend=memory|mmap|mmap_uring] "
+                 "[--cache-pages=N] [--page-size=B]\n",
                  argv[0]);
     return 2;
   }
@@ -73,11 +88,31 @@ int main(int argc, char** argv) {
   const std::string polygon_path = argv[2];
   std::string method = "voronoi";
   bool print_ids = false;
+  PointDatabase::Options db_options;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--ids") == 0) {
+    const std::string arg = argv[i];
+    if (arg == "--ids") {
       print_ids = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string backend = arg.substr(10);
+      if (backend == "memory") {
+        db_options.storage.backend = StorageBackend::kInMemory;
+      } else if (backend == "mmap") {
+        db_options.storage.backend = StorageBackend::kMmap;
+      } else if (backend == "mmap_uring") {
+        db_options.storage.backend = StorageBackend::kMmapUring;
+      } else {
+        std::fprintf(stderr, "error: unknown backend '%s'\n",
+                     backend.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--cache-pages=", 0) == 0) {
+      db_options.storage.cache_pages = std::stoull(arg.substr(14));
+    } else if (arg.rfind("--page-size=", 0) == 0) {
+      db_options.storage.page_size_bytes =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(12)));
     } else {
-      method = argv[i];
+      method = arg;
     }
   }
 
@@ -108,7 +143,7 @@ int main(int argc, char** argv) {
   // point order of the input file (comment/blank lines excluded).
   std::unique_ptr<PointDatabase> db_holder;
   try {
-    db_holder = std::make_unique<PointDatabase>(std::move(points));
+    db_holder = std::make_unique<PointDatabase>(std::move(points), db_options);
   } catch (const DuplicatePointError& e) {
     std::fprintf(stderr,
                  "error: %s: duplicate point (%.17g, %.17g) at input rows "

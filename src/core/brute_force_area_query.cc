@@ -17,7 +17,7 @@ std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
   std::vector<PointId> result;
   const std::size_t n = db_->size();
   for (PointId id = 0; id < n; ++id) {
-    const Point& p = db_->FetchPoint(id, stats);
+    const Point p = db_->FetchPoint(id, stats);
     if (area.Contains(p)) result.push_back(id);
   }
   stats->candidates = n;

@@ -13,6 +13,7 @@
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "index/rtree.h"
+#include "storage/page_store.h"
 
 namespace vaq {
 
@@ -82,6 +83,14 @@ class PointDatabase {
     /// invariants themselves (the dynamic layer's compaction); external
     /// construction should keep the checks.
     bool skip_distinctness_check = false;
+    /// What backs the object-fetch boundary (`FetchPoint`/`FetchPoints`).
+    /// The default in-memory backend reads the resident SoA arrays; the
+    /// mmap backends spill the Hilbert-ordered coordinates to a page
+    /// file at construction and serve every fetch through an explicit
+    /// LRU page cache (see `PageStore` and DESIGN.md §10). The index and
+    /// Delaunay structures stay resident either way — the paper's
+    /// regime, where object *geometry* lives on secondary storage.
+    StorageOptions storage;
   };
 
   /// Builds the database: Hilbert-relabels the points, bulk-loads the
@@ -125,10 +134,14 @@ class PointDatabase {
   const VoronoiDiagram& voronoi() const;
 
   /// Fetches the geometry of point `id`, charging one geometry load to
-  /// `stats` (if non-null) and paying the simulated fetch latency, if any.
-  const Point& FetchPoint(PointId id, QueryStats* stats) const {
+  /// `stats` (if non-null) and paying the simulated fetch latency, if
+  /// any. On a paged backend the read goes through the page cache (one
+  /// page touch); returns by value so the result never aliases a cache
+  /// frame a later fetch may evict.
+  Point FetchPoint(PointId id, QueryStats* stats) const {
     if (stats != nullptr) ++stats->geometry_loads;
     if (simulated_fetch_ns_ > 0.0) SimulateFetchLatency(1);
+    if (page_store_ != nullptr) return page_store_->GetPoint(id, stats);
     return points_[id];
   }
 
@@ -144,6 +157,14 @@ class PointDatabase {
                    double* ys_out, QueryStats* stats) const {
     if (stats != nullptr) stats->geometry_loads += n;
     if (simulated_fetch_ns_ > 0.0) SimulateFetchLatency(n);
+    if (page_store_ != nullptr) {
+      // Page-granular gather: every distinct page run in the id sequence
+      // is one cache touch (hit or miss); the Hilbert-clustered id space
+      // keeps those runs long, so a spatially compact batch touches few
+      // pages.
+      page_store_->Gather(ids, n, xs_out, ys_out, stats);
+      return;
+    }
     const double* xs = xs_.data();
     const double* ys = ys_.data();
     for (std::size_t j = 0; j < n; ++j) {
@@ -158,26 +179,62 @@ class PointDatabase {
     }
   }
 
+  /// Prefetch hint for an upcoming gather of `ids[0..n)` — a no-op on
+  /// the in-memory backend, `madvise(MADV_WILLNEED)` (plus batched
+  /// io_uring reads into the cache, when active) on the paged ones.
+  /// Issued by the frontier-expansion loop for the generation it is
+  /// about to stream and by the filter-refine path for its candidate
+  /// list; never changes results or per-query touch accounting.
+  void PrefetchPoints(const PointId* ids, std::size_t n) const {
+    if (page_store_ != nullptr) page_store_->Prefetch(ids, n);
+  }
+
   /// Charges `n` object fetches (geometry loads + simulated latency)
   /// without gathering coordinates — for bulk-accepted results whose
   /// geometry is returned wholesale and never individually inspected.
+  /// Deliberately no page traffic on the paged backends either: the
+  /// query returns ids, and a result set accepted without inspection
+  /// needs no coordinate bytes — the charge models the object-IO a
+  /// client materialising those objects would pay, not IO this query
+  /// performs.
   void ChargeFetches(std::size_t n, QueryStats* stats) const {
     if (stats != nullptr) stats->geometry_loads += n;
     if (simulated_fetch_ns_ > 0.0 && n > 0) SimulateFetchLatency(n);
   }
 
   /// How a simulated object fetch spends its latency.
+  ///
+  /// **Granularity of the model.** A spin is accurate to the clock read
+  /// (~20 ns), a `sleep_for` only to the scheduler's wakeup latency
+  /// (tens of microseconds on a loaded host). The models therefore
+  /// differ below ~100 us and converge above it — which is why kBusyWait
+  /// hybridises: a charge at or above `kSpinSleepCutoffNs` gains nothing
+  /// from spinning, it only burns a core inside the timed region (and,
+  /// on the blocking-IO benches, steals cycles from the threads whose
+  /// overlap is being measured). Such charges sleep off the bulk and
+  /// spin only the last `kSpinTailNs` up to the deadline, keeping the
+  /// sub-cutoff precision where it matters and the CPU free where it
+  /// does not. Batched charges (`FetchPoints` of a 256-block at 1 us
+  /// each = 256 us) are the common way a nominally sub-cutoff latency
+  /// crosses the cutoff.
   enum class FetchLatencyModel {
-    /// Spin on the clock. Precise for sub-microsecond latencies and keeps
-    /// single-thread timings comparable, but occupies the CPU — threads
-    /// cannot overlap their "IO" waits.
+    /// Spin on the clock up to `kSpinSleepCutoffNs` per charge; above
+    /// it, sleep the bulk and spin the tail (see above). Keeps
+    /// single-thread timings comparable at sub-microsecond latencies.
     kBusyWait,
-    /// `std::this_thread::sleep_for`. Models blocking IO faithfully: the
-    /// worker yields the core, so concurrent queries overlap their waits
-    /// and a thread pool shows real throughput scaling even on one core.
-    /// Coarser (scheduler quantum) — use for latencies >= ~10us.
+    /// `std::this_thread::sleep_for` always. Models blocking IO
+    /// faithfully: the worker yields the core, so concurrent queries
+    /// overlap their waits and a thread pool shows real throughput
+    /// scaling even on one core. Coarser (scheduler quantum) — use for
+    /// latencies >= ~10us.
     kSleep,
   };
+
+  /// Per-charge wait at which kBusyWait stops pure spinning (see the
+  /// model docs above), and the stretch before the deadline it still
+  /// spins to absorb the sleep's wakeup jitter.
+  static constexpr double kSpinSleepCutoffNs = 200000.0;  // 200 us
+  static constexpr double kSpinTailNs = 100000.0;         // 100 us
 
   /// Simulated per-object fetch latency in nanoseconds (default 0 = off).
   ///
@@ -196,8 +253,21 @@ class PointDatabase {
   void set_fetch_latency_model(FetchLatencyModel m) { latency_model_ = m; }
   FetchLatencyModel fetch_latency_model() const { return latency_model_; }
 
+  /// The configured storage backend (kInMemory unless Options selected a
+  /// paged one — an empty database never spills, so this reports
+  /// kInMemory for n == 0 regardless of the request).
+  StorageBackend storage_backend() const {
+    return page_store_ != nullptr ? options_storage_.backend
+                                  : StorageBackend::kInMemory;
+  }
+
+  /// The page store behind a paged backend (null on kInMemory) — benches
+  /// and tests read its lifetime counters and cache geometry.
+  PageStore* page_store() const { return page_store_.get(); }
+
  private:
   void SimulateFetchLatency(std::size_t n) const;
+  void InitPagedStorage();
 
   // Initialised first (declaration order): the points_ initializer fills it
   // as a side effect of the Hilbert permutation.
@@ -211,6 +281,8 @@ class PointDatabase {
   DelaunayTriangulation delaunay_;
   mutable std::once_flag voronoi_once_;
   mutable std::unique_ptr<VoronoiDiagram> voronoi_;
+  StorageOptions options_storage_;
+  std::unique_ptr<PageStore> page_store_;
   double simulated_fetch_ns_ = 0.0;
   FetchLatencyModel latency_model_ = FetchLatencyModel::kBusyWait;
 };

@@ -51,6 +51,17 @@ struct QueryStats {
   /// Always 0 for unsharded queries.
   std::uint64_t shards_hit = 0;
   std::uint64_t shards_pruned = 0;
+  /// Page-granular object IO of the out-of-core backends (see
+  /// `PageStore`): distinct page runs the query's gathers streamed
+  /// through the page cache, split into hits and misses. Every touch is
+  /// exactly one hit or one miss, so
+  ///   `page_cache_hits + page_cache_misses == pages_touched`
+  /// holds on every exit path (and survives the sharded per-leg
+  /// summation). All three are 0 on the in-memory backend, where
+  /// `geometry_loads` remains the only (object-level) IO proxy.
+  std::uint64_t pages_touched = 0;
+  std::uint64_t page_cache_hits = 0;
+  std::uint64_t page_cache_misses = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -78,6 +89,9 @@ struct QueryStats {
     delta_candidates += o.delta_candidates;
     shards_hit += o.shards_hit;
     shards_pruned += o.shards_pruned;
+    pages_touched += o.pages_touched;
+    page_cache_hits += o.page_cache_hits;
+    page_cache_misses += o.page_cache_misses;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

@@ -50,7 +50,10 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
 
     // Refine: the shared batched SoA kernel (see batch_refine.h) streams
     // candidate blocks through the IO boundary and the prepared grid;
-    // every survivor is a result.
+    // every survivor is a result. The full candidate list is known up
+    // front, so hint the out-of-core page cache once for the whole
+    // refine pass (no-op on the in-memory backend).
+    db_->PrefetchPoints(candidates.data(), candidates.size());
     result.reserve(candidates.size());
     ForEachRefinedBlock(
         *db_, prep, candidates.data(), candidates.size(), stats,

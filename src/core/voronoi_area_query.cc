@@ -140,6 +140,12 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
   while (frontier_len > 0) {
     std::size_t next_len = 0;
     stats->candidates += frontier_len;
+    // The whole generation's page set is known before the refine kernel
+    // streams it, so hint the page cache now: on the out-of-core backends
+    // this overlaps the generation's IO with the previous block's graph
+    // work instead of taking every miss synchronously inside the gather.
+    // No-op (and no accounting) on the in-memory backend.
+    db_->PrefetchPoints(frontier.data(), frontier_len);
     // Each generation streams through the shared batched refine kernel
     // (object IO + grid classification + exact boundary resolution per
     // 256-block); the per-block callback owns the graph side.

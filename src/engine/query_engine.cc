@@ -160,6 +160,9 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.delta_candidates += result.stats.delta_candidates;
       m.shards_hit += result.stats.shards_hit;
       m.shards_pruned += result.stats.shards_pruned;
+      m.pages_touched += result.stats.pages_touched;
+      m.page_cache_hits += result.stats.page_cache_hits;
+      m.page_cache_misses += result.stats.page_cache_misses;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -191,6 +194,9 @@ EngineStats QueryEngine::Stats() const {
       agg.delta_candidates += m.delta_candidates;
       agg.shards_hit += m.shards_hit;
       agg.shards_pruned += m.shards_pruned;
+      agg.pages_touched += m.pages_touched;
+      agg.page_cache_hits += m.page_cache_hits;
+      agg.page_cache_misses += m.page_cache_misses;
       agg.total_query_ms += m.total_query_ms;
     }
   }

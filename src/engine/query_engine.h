@@ -53,6 +53,11 @@ struct MethodEngineStats {
   /// `QueryStats::shards_hit`/`shards_pruned`); 0 for unsharded methods.
   std::uint64_t shards_hit = 0;
   std::uint64_t shards_pruned = 0;
+  /// Page-cache traffic of the out-of-core backends (see
+  /// `QueryStats::pages_touched`); all 0 for the in-memory backend.
+  std::uint64_t pages_touched = 0;
+  std::uint64_t page_cache_hits = 0;
+  std::uint64_t page_cache_misses = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 

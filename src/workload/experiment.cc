@@ -32,6 +32,9 @@ void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->bulk_accepted += static_cast<double>(stats.bulk_accepted);
   avg->shards_hit += static_cast<double>(stats.shards_hit);
   avg->shards_pruned += static_cast<double>(stats.shards_pruned);
+  avg->pages_touched += static_cast<double>(stats.pages_touched);
+  avg->page_cache_hits += static_cast<double>(stats.page_cache_hits);
+  avg->page_cache_misses += static_cast<double>(stats.page_cache_misses);
 }
 
 void Finish(MethodAverages* avg, int reps) {
@@ -43,9 +46,20 @@ void Finish(MethodAverages* avg, int reps) {
   avg->bulk_accepted /= reps;
   avg->shards_hit /= reps;
   avg->shards_pruned /= reps;
+  avg->pages_touched /= reps;
+  avg->page_cache_hits /= reps;
+  avg->page_cache_misses /= reps;
   if (avg->batch_wall_ms > 0.0) {
     avg->throughput_qps = reps / (avg->batch_wall_ms / 1000.0);
   }
+}
+
+PointDatabase::Options DatabaseOptions(const ExperimentConfig& config) {
+  PointDatabase::Options options;
+  options.storage.backend = config.storage_backend;
+  options.storage.cache_pages = config.page_cache_pages;
+  options.storage.page_size_bytes = config.page_size_bytes;
+  return options;
 }
 
 std::vector<Polygon> GenerateQueryStream(const ExperimentConfig& config) {
@@ -132,7 +146,7 @@ ExperimentRow RunExperiment(const ExperimentConfig& config) {
   const double rtree_ms = MillisSince(t_rtree);
 
   const auto t_delaunay = std::chrono::steady_clock::now();
-  PointDatabase db(std::move(points));
+  PointDatabase db(std::move(points), DatabaseOptions(config));
   const double delaunay_ms = MillisSince(t_delaunay);
 
   ExperimentRow row = RunExperimentOnDatabase(db, config);
@@ -145,7 +159,8 @@ std::vector<ExperimentRow> RunThreadSweep(
     const ExperimentConfig& config, const std::vector<int>& thread_counts) {
   Rng data_rng(config.seed);
   PointDatabase db(GeneratePoints(config.data_size, kUnitDomain,
-                                  config.distribution, &data_rng));
+                                  config.distribution, &data_rng),
+                   DatabaseOptions(config));
   std::vector<ExperimentRow> rows;
   rows.reserve(thread_counts.size());
   for (const int threads : thread_counts) {
@@ -219,6 +234,9 @@ void WriteMethodJson(const MethodAverages& m, std::ostream& os) {
      << ", \"bulk_accepted\": " << m.bulk_accepted
      << ", \"shards_hit\": " << m.shards_hit
      << ", \"shards_pruned\": " << m.shards_pruned
+     << ", \"pages_touched\": " << m.pages_touched
+     << ", \"page_cache_hits\": " << m.page_cache_hits
+     << ", \"page_cache_misses\": " << m.page_cache_misses
      << ", \"batch_wall_ms\": " << m.batch_wall_ms
      << ", \"throughput_qps\": " << m.throughput_qps << "}";
 }
@@ -237,6 +255,8 @@ void WriteRowsJson(const std::vector<ExperimentRow>& rows, std::ostream& os) {
        << ", \"blocking_fetch\": "
        << (r.config.blocking_fetch ? "true" : "false")
        << ", \"num_threads\": " << r.config.num_threads
+       << ", \"backend\": \"" << StorageBackendName(r.config.storage_backend)
+       << "\", \"page_cache_pages\": " << r.config.page_cache_pages
        << ", \"result_size\": " << r.result_size
        << ", \"mismatches\": " << r.mismatches
        << ", \"build_rtree_ms\": " << r.build_rtree_ms

@@ -36,6 +36,16 @@ struct ExperimentConfig {
   /// are thread-count independent (results are deterministic), only the
   /// batch wall-clock and throughput change.
   int num_threads = 1;
+  /// What backs the database's object-fetch boundary (see
+  /// `StorageOptions`): the in-memory SoA arrays (default), or an
+  /// mmap-backed page file behind an LRU cache of `page_cache_pages`
+  /// pages of `page_size_bytes` each — the out-of-core regime when the
+  /// cache is smaller than the dataset. Result sets are backend-invariant
+  /// (the page file stores the exact same doubles); only timings and the
+  /// page counters change.
+  StorageBackend storage_backend = StorageBackend::kInMemory;
+  std::size_t page_cache_pages = 4096;
+  std::uint32_t page_size_bytes = 4096;
 };
 
 /// Per-method averages over the repetitions, plus batch-level throughput.
@@ -52,6 +62,11 @@ struct MethodAverages {
   /// `QueryStats::shards_hit`/`shards_pruned`); 0 for unsharded methods.
   double shards_hit = 0.0;
   double shards_pruned = 0.0;
+  /// Page-cache traffic per query on the out-of-core backends (see
+  /// `QueryStats::pages_touched`); all 0 on the in-memory backend.
+  double pages_touched = 0.0;
+  double page_cache_hits = 0.0;
+  double page_cache_misses = 0.0;
   /// Wall-clock of the whole batch through the engine and the resulting
   /// queries/second (equals repetitions / wall when the pool is saturated).
   double batch_wall_ms = 0.0;

@@ -1,0 +1,252 @@
+// The LRU page cache (storage/page_store.h) under scripted access
+// sequences: eviction order, pin semantics, exact hit/miss counters, and
+// the accounting invariant `page_cache_hits + page_cache_misses ==
+// pages_touched` that the per-query stats plumbing relies on.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/page_format.h"
+#include "storage/page_store.h"
+
+namespace vaq {
+namespace {
+
+/// 512-byte pages -> 32 points per page. The fixture writes `kPages`
+/// pages of deterministic coordinates (x = id, y = -id) and removes the
+/// file on teardown.
+class PageStoreTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kPageSize = 512;
+  static constexpr std::size_t kPpp = 32;
+  static constexpr std::size_t kPages = 16;
+
+  void SetUp() override {
+    const std::size_t count = kPages * kPpp;
+    std::vector<double> xs(count), ys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs[i] = static_cast<double>(i);
+      ys[i] = -static_cast<double>(i);
+    }
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vaq_page_store_test_" + std::to_string(::getpid()) + ".vpag"))
+                .string();
+    WritePageFile(path_, xs.data(), ys.data(), count, kPageSize);
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::unique_ptr<PageStore> OpenCache(std::size_t cache_pages,
+                                       PageMissMode mode =
+                                           PageMissMode::kPread) {
+    PageStore::Options options;
+    options.cache_pages = cache_pages;
+    options.miss_mode = mode;
+    return PageStore::Open(path_, options);
+  }
+
+  /// First point id of `page`.
+  static PointId IdOnPage(std::size_t page) {
+    return static_cast<PointId>(page * kPpp);
+  }
+
+  std::string path_;
+};
+
+TEST_F(PageStoreTest, GatherReadsExactCoordinates) {
+  for (const PageMissMode mode :
+       {PageMissMode::kPread, PageMissMode::kMmapCopy}) {
+    const auto store = OpenCache(4, mode);
+    // A gather spanning pages, unaligned, with a same-page run.
+    const std::vector<PointId> ids = {0, 1, 31, 32, 33, 100, 101, 511, 5};
+    std::vector<double> xs(ids.size()), ys(ids.size());
+    QueryStats stats;
+    store->Gather(ids.data(), ids.size(), xs.data(), ys.data(), &stats);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      EXPECT_EQ(xs[j], static_cast<double>(ids[j]));
+      EXPECT_EQ(ys[j], -static_cast<double>(ids[j]));
+    }
+    EXPECT_EQ(stats.page_cache_hits + stats.page_cache_misses,
+              stats.pages_touched);
+  }
+}
+
+TEST_F(PageStoreTest, ScriptedSequenceCountsExactly) {
+  const auto store = OpenCache(2);
+  QueryStats stats;
+  // Pages: A=0 B=1 C=2. Cache holds 2.
+  store->GetPoint(IdOnPage(0), &stats);  // A: miss (cold).
+  store->GetPoint(IdOnPage(1), &stats);  // B: miss (cold).
+  store->GetPoint(IdOnPage(0), &stats);  // A: hit. LRU order: A, B.
+  store->GetPoint(IdOnPage(2), &stats);  // C: miss, evicts B (LRU).
+  EXPECT_FALSE(store->Cached(1));
+  EXPECT_TRUE(store->Cached(0));
+  EXPECT_TRUE(store->Cached(2));
+  store->GetPoint(IdOnPage(1), &stats);  // B: miss again, evicts A.
+  EXPECT_FALSE(store->Cached(0));
+
+  EXPECT_EQ(stats.pages_touched, 5u);
+  EXPECT_EQ(stats.page_cache_hits, 1u);
+  EXPECT_EQ(stats.page_cache_misses, 4u);
+  const PageIoCounters c = store->counters();
+  EXPECT_EQ(c.pages_touched, 5u);
+  EXPECT_EQ(c.cache_hits, 1u);
+  EXPECT_EQ(c.cache_misses, 4u);
+  EXPECT_EQ(c.evictions, 2u);
+}
+
+TEST_F(PageStoreTest, EvictionFollowsLruOrder) {
+  const auto store = OpenCache(3);
+  store->GetPoint(IdOnPage(0), nullptr);
+  store->GetPoint(IdOnPage(1), nullptr);
+  store->GetPoint(IdOnPage(2), nullptr);
+  // Touch 0 and 2; page 1 is now least recent.
+  store->GetPoint(IdOnPage(0), nullptr);
+  store->GetPoint(IdOnPage(2), nullptr);
+  store->GetPoint(IdOnPage(3), nullptr);  // Evicts 1.
+  EXPECT_TRUE(store->Cached(0));
+  EXPECT_FALSE(store->Cached(1));
+  EXPECT_TRUE(store->Cached(2));
+  EXPECT_TRUE(store->Cached(3));
+  store->GetPoint(IdOnPage(4), nullptr);  // Evicts 0 (next LRU).
+  EXPECT_FALSE(store->Cached(0));
+  EXPECT_TRUE(store->Cached(2));
+}
+
+TEST_F(PageStoreTest, PinnedPagesSurviveEviction) {
+  const auto store = OpenCache(2);
+  QueryStats stats;
+  store->Pin(0, &stats);  // Load + pin page 0 (one touch, one miss).
+  EXPECT_EQ(stats.page_cache_misses, 1u);
+  // Stream every other page through the second frame: page 0 must never
+  // be chosen for eviction while pinned.
+  for (std::size_t p = 1; p < kPages; ++p) {
+    store->GetPoint(IdOnPage(p), &stats);
+    ASSERT_TRUE(store->Cached(0)) << "pinned page evicted at p=" << p;
+  }
+  store->Unpin(0);
+  // Unpinned, 0 is the LRU frame (untouched since the pin) — the next
+  // two distinct misses push it out.
+  store->GetPoint(IdOnPage(5), &stats);
+  store->GetPoint(IdOnPage(6), &stats);
+  EXPECT_FALSE(store->Cached(0));
+}
+
+TEST_F(PageStoreTest, PinsNestAndUnpinValidates) {
+  const auto store = OpenCache(2);
+  store->Pin(0, nullptr);
+  store->Pin(0, nullptr);  // Nested.
+  store->Unpin(0);
+  for (std::size_t p = 1; p < 6; ++p) store->GetPoint(IdOnPage(p), nullptr);
+  EXPECT_TRUE(store->Cached(0));  // Still one pin outstanding.
+  store->Unpin(0);
+  EXPECT_THROW(store->Unpin(0), std::logic_error);   // Not pinned.
+  EXPECT_THROW(store->Unpin(15), std::logic_error);  // Never cached.
+}
+
+TEST_F(PageStoreTest, AllFramesPinnedThrowsOnMiss) {
+  const auto store = OpenCache(2);
+  store->Pin(0, nullptr);
+  store->Pin(1, nullptr);
+  EXPECT_THROW(store->GetPoint(IdOnPage(2), nullptr), std::runtime_error);
+  store->Unpin(1);
+  EXPECT_NO_THROW(store->GetPoint(IdOnPage(2), nullptr));
+}
+
+TEST_F(PageStoreTest, GatherChargesOncePerPageRun) {
+  const auto store = OpenCache(8);
+  // 3 runs over 2 distinct pages: [page0 x3][page1 x2][page0 x1].
+  const std::vector<PointId> ids = {0, 1, 2, IdOnPage(1), IdOnPage(1) + 1, 3};
+  std::vector<double> xs(ids.size()), ys(ids.size());
+  QueryStats stats;
+  store->Gather(ids.data(), ids.size(), xs.data(), ys.data(), &stats);
+  EXPECT_EQ(stats.pages_touched, 3u);       // One per run, not per id.
+  EXPECT_EQ(stats.page_cache_misses, 2u);   // Two distinct pages cold.
+  EXPECT_EQ(stats.page_cache_hits, 1u);     // The page-0 revisit.
+}
+
+TEST_F(PageStoreTest, HitMissInvariantHoldsUnderRandomTraffic) {
+  const auto store = OpenCache(3);
+  QueryStats stats;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  std::vector<PointId> ids(64);
+  std::vector<double> xs(ids.size()), ys(ids.size());
+  for (int round = 0; round < 50; ++round) {
+    for (auto& id : ids) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      id = static_cast<PointId>((state >> 33) % (kPages * kPpp));
+    }
+    store->Gather(ids.data(), ids.size(), xs.data(), ys.data(), &stats);
+    ASSERT_EQ(stats.page_cache_hits + stats.page_cache_misses,
+              stats.pages_touched);
+  }
+  const PageIoCounters c = store->counters();
+  EXPECT_EQ(c.cache_hits + c.cache_misses, c.pages_touched);
+  EXPECT_EQ(c.pages_touched, stats.pages_touched);
+}
+
+TEST_F(PageStoreTest, PrefetchMakesNextGatherHitWithoutAccounting) {
+  const auto store = OpenCache(8);
+  std::vector<PointId> ids;
+  for (std::size_t p = 0; p < 4; ++p) ids.push_back(IdOnPage(p));
+  // A hint is not an access: it must not move the query-visible counters
+  // (uring mode loads frames and counts them as prefetch_reads; madvise
+  // mode only nudges the kernel).
+  store->Prefetch(ids.data(), ids.size());
+  const PageIoCounters after_hint = store->counters();
+  EXPECT_EQ(after_hint.pages_touched, 0u);
+  EXPECT_EQ(after_hint.cache_hits, 0u);
+  EXPECT_EQ(after_hint.cache_misses, 0u);
+
+  QueryStats stats;
+  std::vector<double> xs(ids.size()), ys(ids.size());
+  store->Gather(ids.data(), ids.size(), xs.data(), ys.data(), &stats);
+  EXPECT_EQ(stats.pages_touched, 4u);
+  EXPECT_EQ(stats.page_cache_hits + stats.page_cache_misses, 4u);
+  if (store->uring_active()) {
+    // The batched read loaded the frames, so the gather hits.
+    EXPECT_EQ(stats.page_cache_hits, 4u);
+    EXPECT_EQ(store->counters().prefetch_reads, 4u);
+  }
+}
+
+TEST_F(PageStoreTest, UringModeMatchesPlainReads) {
+  // Whether or not the kernel grants an io_uring (sandboxes often
+  // refuse), the uring-requested store must return identical bytes.
+  PageStore::Options options;
+  options.cache_pages = 4;
+  options.use_uring = true;
+  const auto store = PageStore::Open(path_, options);
+  std::vector<PointId> ids;
+  for (std::size_t p = 0; p < kPages; ++p) ids.push_back(IdOnPage(p) + 7);
+  store->Prefetch(ids.data(), ids.size());
+  std::vector<double> xs(ids.size()), ys(ids.size());
+  store->Gather(ids.data(), ids.size(), xs.data(), ys.data(), nullptr);
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    EXPECT_EQ(xs[j], static_cast<double>(ids[j]));
+    EXPECT_EQ(ys[j], -static_cast<double>(ids[j]));
+  }
+}
+
+TEST_F(PageStoreTest, ResetCountersClearsLifetimeTotals) {
+  const auto store = OpenCache(2);
+  store->GetPoint(IdOnPage(0), nullptr);
+  store->GetPoint(IdOnPage(1), nullptr);
+  EXPECT_GT(store->counters().pages_touched, 0u);
+  store->ResetCounters();
+  const PageIoCounters c = store->counters();
+  EXPECT_EQ(c.pages_touched, 0u);
+  EXPECT_EQ(c.cache_hits, 0u);
+  EXPECT_EQ(c.cache_misses, 0u);
+  EXPECT_EQ(c.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace vaq

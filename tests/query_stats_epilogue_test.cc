@@ -89,5 +89,26 @@ TEST(QueryStatsEpilogueTest, NormalRunStillFillsStats) {
   ExpectCandidateInvariant(ctx.stats);
 }
 
+TEST(QueryStatsEpilogueTest, PagedRunKeepsFetchAccountingInvariant) {
+  // On a paged backend the epilogue additionally owns the page counters:
+  //   page_cache_hits + page_cache_misses == pages_touched
+  // must hold on a populated stats slot, and a flood over a cache smaller
+  // than the dataset must report real page traffic.
+  Rng rng(57);
+  PointDatabase::Options options;
+  options.storage.backend = StorageBackend::kMmap;
+  options.storage.cache_pages = 4;  // 2000 pts ≈ 8 pages of 4 KiB.
+  PointDatabase db(GenerateUniformPoints(2000, kUnit, &rng), options);
+  const VoronoiAreaQuery vaq(&db);
+  QueryContext ctx;
+  ctx.stats.pages_touched = 12345;  // Poison: Run must reset, then count.
+  const auto result = vaq.Run(TestArea(), ctx);
+  EXPECT_FALSE(result.empty());
+  EXPECT_GT(ctx.stats.pages_touched, 0u);
+  EXPECT_EQ(ctx.stats.page_cache_hits + ctx.stats.page_cache_misses,
+            ctx.stats.pages_touched);
+  ExpectCandidateInvariant(ctx.stats);
+}
+
 }  // namespace
 }  // namespace vaq

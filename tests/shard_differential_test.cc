@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <random>
 #include <vector>
@@ -32,9 +34,29 @@ namespace {
 
 constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
 
+/// When VAQ_TEST_STORAGE=mmap (or mmap_uring) is set — the CI leg that
+/// re-runs this differential suite out-of-core — every sharded database
+/// serves its geometry through the paged backend with a deliberately tiny
+/// cache, while the unsharded oracles stay in-memory: each EXPECT_EQ
+/// below then additionally proves paged reads bit-identical to resident
+/// reads under real miss traffic.
+StorageOptions TestStorageFromEnv() {
+  StorageOptions storage;
+  const char* env = std::getenv("VAQ_TEST_STORAGE");
+  if (env == nullptr) return storage;
+  if (std::strcmp(env, "mmap") == 0) {
+    storage.backend = StorageBackend::kMmap;
+  } else if (std::strcmp(env, "mmap_uring") == 0) {
+    storage.backend = StorageBackend::kMmapUring;
+  }
+  storage.cache_pages = 8;  // Tiny: force genuine evictions and misses.
+  return storage;
+}
+
 ShardedDatabase::Options ShardOptions(std::size_t k) {
   ShardedDatabase::Options options;
   options.num_shards = k;
+  options.shard.base.storage = TestStorageFromEnv();
   return options;
 }
 constexpr std::size_t kShardCounts[] = {1, 2, 4, 8, 16};

@@ -35,14 +35,25 @@ KEY_FIELDS = (
     "blocking_fetch",
     "num_threads",
     "num_shards",
+    "backend",
 )
+# Knobs added after a baseline was committed default to the value the old
+# code implied, so pre-knob baselines keep matching post-knob runs.
+KEY_DEFAULTS = {"backend": "memory"}
 COUNTER_FIELDS = ("candidates", "geometry_loads", "redundant")
 TIME_FIELDS = ("time_ms",)
 METHODS = ("traditional", "voronoi")
 
+# The pread-mode warm/cold throughput ratio of the out-of-core scan bench
+# must stay above this floor: warm hits read a cache frame, cold misses pay
+# a syscall, and the gap collapsing means the cache stopped working. The
+# measured gap is ~100x; 3x absorbs CI jitter while still catching a
+# hit-path regression.
+OOC_MIN_WARM_COLD_RATIO = 3.0
+
 
 def row_key(row):
-    return tuple(row.get(k) for k in KEY_FIELDS)
+    return tuple(row.get(k, KEY_DEFAULTS.get(k)) for k in KEY_FIELDS)
 
 
 def describe(key):
@@ -65,6 +76,34 @@ def check_micro_flood(baseline, new, time_tol, counter_tol, failures):
                           counter_tol, failures)
         check_time(f"flood[{key}].time_ms", base["time_ms"], row["time_ms"],
                    time_tol, failures)
+    return compared
+
+
+def check_ooc_scan(baseline, new, time_tol, counter_tol, failures):
+    """BENCH_ooc.json rows: page-cache scan, keyed by cache geometry."""
+    def key(r):
+        return (r["miss_mode"], r["points"], r["page_size"], r["cache_pages"])
+    base_by_key = {key(r): r for r in baseline}
+    compared = 0
+    for row in new:
+        base = base_by_key.get(key(row))
+        if base is None:
+            continue
+        compared += 1
+        where = f"ooc[{row['miss_mode']}]"
+        # Hit/miss counts are exact given the scan pattern and geometry.
+        for field in ("num_pages", "cold_hits", "cold_misses", "warm_hits",
+                      "warm_misses"):
+            check_counter(f"{where}.{field}", base[field], row[field],
+                          counter_tol, failures)
+        for field in ("cold_ms", "warm_ms"):
+            check_time(f"{where}.{field}", base[field], row[field], time_tol,
+                       failures)
+        if (row["miss_mode"] == "pread" and
+                row["warm_cold_ratio"] < OOC_MIN_WARM_COLD_RATIO):
+            failures.append(
+                f"{where}: warm/cold ratio {row['warm_cold_ratio']:.2f} "
+                f"below floor {OOC_MIN_WARM_COLD_RATIO:.1f}")
     return compared
 
 
@@ -116,7 +155,10 @@ def main():
         new = json.load(f)
 
     failures = []
-    if baseline and "traditional" not in baseline[0]:
+    if baseline and baseline[0].get("bench") == "ooc_scan":
+        compared = check_ooc_scan(baseline, new, args.time_tol,
+                                  args.counter_tol, failures)
+    elif baseline and "traditional" not in baseline[0]:
         compared = check_micro_flood(baseline, new, args.time_tol,
                                      args.counter_tol, failures)
     else:

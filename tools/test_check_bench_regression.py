@@ -155,6 +155,72 @@ class RowMatchingTest(unittest.TestCase):
         bad = [dict(base[0], candidates=500)]
         self.assertEqual(self.run_gate(base, bad).returncode, 1)
 
+    def test_backend_key_separates_rows(self):
+        # An mmap row must compare against the mmap baseline, not the
+        # in-memory one with the same data size.
+        mem = self.row(backend="memory")
+        mmap_row = self.row(backend="mmap")
+        mmap_bad = self.row(backend="mmap")
+        mmap_bad["voronoi"] = dict(mmap_bad["voronoi"], candidates=600)
+        result = self.run_gate([mem, mmap_row], [mem, mmap_bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("backend=mmap", result.stdout)
+        self.assertNotIn("backend=memory]", result.stdout)
+
+    def test_legacy_rows_without_backend_match_memory_rows(self):
+        # Baselines committed before the backend knob carry no "backend"
+        # key; they must keep gating runs that now write the default.
+        result = self.run_gate([self.row()], [self.row(backend="memory")])
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("within tolerance", result.stdout)
+
+
+class OocScanTest(unittest.TestCase):
+    def row(self, **overrides):
+        row = {
+            "bench": "ooc_scan", "miss_mode": "pread", "points": 500000,
+            "page_size": 4096, "cache_pages": 256, "num_pages": 1954,
+            "cold_ms": 3.0, "warm_ms": 0.05, "cold_pages_per_sec": 650000.0,
+            "warm_pages_per_sec": 39000000.0, "warm_cold_ratio": 60.0,
+            "cold_hits": 0, "cold_misses": 1954, "warm_hits": 3908,
+            "warm_misses": 0,
+        }
+        row.update(overrides)
+        return row
+
+    run_gate = RowMatchingTest.run_gate
+
+    def test_identical_rows_pass(self):
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_hit_count_regression_fails(self):
+        # Warm touches turning into misses is exactly the cache breaking.
+        bad = self.row(warm_hits=0, warm_misses=3908)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("warm_hits", result.stdout)
+
+    def test_ratio_floor_fails_collapsed_cache(self):
+        bad = self.row(warm_cold_ratio=1.2)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("warm/cold ratio", result.stdout)
+
+    def test_ratio_floor_ignores_mmap_copy_mode(self):
+        # The floor encodes the syscall-vs-frame-read gap, which only the
+        # pread mode exhibits reliably.
+        base = self.row(miss_mode="mmap_copy")
+        new = self.row(miss_mode="mmap_copy", warm_cold_ratio=1.2)
+        result = self.run_gate([base], [new])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_gross_cold_slowdown_fails(self):
+        bad = self.row(cold_ms=30.0)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("cold_ms", result.stdout)
+
 
 if __name__ == "__main__":
     unittest.main()
