@@ -1,0 +1,195 @@
+// Micro benchmark isolating the batch classification kernels: prepares a
+// PolygonKernel per polygon class x dispatch arm and streams random SoA
+// point batches through ContainsBatch, reporting points/sec per kernel.
+// Every vector-arm run is cross-checked against the scalar arm on the same
+// batch (the "mismatches" column must read 0 — it is the exactness
+// contract measured, not assumed). This is the number to watch when
+// touching src/geometry/simd/; the table benches mix it with index filter,
+// IO charging and engine dispatch costs.
+//
+// Usage: bench_micro_classify [--quick] [--json]
+//   --json: additionally write one row per (polygon, arm, batch) to
+//   BENCH_classify.json in the working directory, for trajectory tracking
+//   via tools/check_bench_regression.py.
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/prepared_area.h"
+#include "geometry/simd/polygon_kernel.h"
+#include "geometry/simd/simd_dispatch.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace {
+
+using vaq::Box;
+using vaq::Point;
+using vaq::Polygon;
+using vaq::PolygonKernel;
+using vaq::PreparedArea;
+using vaq::Rng;
+
+struct ClassifyRow {
+  std::string polygon;   // Polygon-class label (stable row key).
+  std::string arm;       // "scalar" / "avx2" (stable row key).
+  std::string kind;      // Selected kernel kind (informational).
+  std::uint64_t kernel_kind = 0;  // stats_mask() bits, exact-match gated.
+  std::size_t batch = 0;
+  std::size_t points = 0;         // Total points classified.
+  double time_ms = 0.0;           // Mean per batch.
+  double mpoints_per_sec = 0.0;
+  std::size_t mismatches = 0;     // vs the scalar arm on identical batches.
+};
+
+/// The three specialisation classes the kernel selector distinguishes.
+struct BenchPolygon {
+  const char* label;
+  Polygon poly;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vaq;
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  // One polygon per kernel kind: a convex 16-gon (half-plane chain), a
+  // concave dart quad (small-m edge loop), and a 16-tooth comb (generic
+  // grid-residual path with a busy boundary band).
+  std::vector<BenchPolygon> polygons;
+  polygons.push_back(
+      {"convex16", Polygon::RegularNGon({0.5, 0.5}, 0.35, 16)});
+  polygons.push_back(
+      {"dart4",
+       Polygon({{0.1, 0.1}, {0.9, 0.5}, {0.1, 0.9}, {0.35, 0.5}})});
+  polygons.push_back(
+      {"comb16", GenerateCombPolygon(Box{{0.1, 0.2}, {0.9, 0.8}}, 16)});
+
+  // The quick grid is a subset of the full grid so a --quick CI run still
+  // matches rows in a committed full-run baseline.
+  const std::vector<std::size_t> batches =
+      quick ? std::vector<std::size_t>{256, 4096}
+            : std::vector<std::size_t>{64, 256, 4096, 16384};
+  // Sized so each (polygon, arm, batch) cell classifies the same total
+  // point count regardless of batch size.
+  const std::size_t total_points = quick ? 1u << 20 : 1u << 23;
+
+  std::vector<ClassifyRow> rows;
+  for (const BenchPolygon& bp : polygons) {
+    const PreparedArea prep(bp.poly);
+    std::vector<simd::Arm> arms = {simd::Arm::kScalar};
+    if (simd::Avx2Available()) arms.push_back(simd::Arm::kAvx2);
+
+    for (const std::size_t batch : batches) {
+      // Same seeded batch for every arm: points uniform over the polygon
+      // MBR — exactly the refine workload, since the R-tree candidate set
+      // IS the MBR window. The stream mixes inside cells, outside cells
+      // and boundary-band lanes, with no free out-of-bounds rejects.
+      Rng rng(31415 + static_cast<std::uint64_t>(batch));
+      const Box& b = bp.poly.Bounds();
+      std::vector<double> xs(batch), ys(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        xs[i] = b.min.x + rng.Uniform(0.0, 1.0) * b.Width();
+        ys[i] = b.min.y + rng.Uniform(0.0, 1.0) * b.Height();
+      }
+      std::vector<bool> oracle;  // Scalar-arm verdicts for this batch.
+
+      for (const simd::Arm arm : arms) {
+        PolygonKernel kernel;
+        kernel.Prepare(prep, arm);
+        std::vector<char> inside(batch);
+        bool* flags = reinterpret_cast<bool*>(inside.data());
+        static_assert(sizeof(bool) == sizeof(char), "flag buffer");
+
+        const std::size_t reps =
+            std::max<std::size_t>(1, total_points / batch);
+        kernel.ContainsBatch(xs.data(), ys.data(), batch, flags);  // warm
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r) {
+          kernel.ContainsBatch(xs.data(), ys.data(), batch, flags);
+        }
+        const double sec =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+
+        ClassifyRow row;
+        row.polygon = bp.label;
+        row.arm = simd::ArmName(arm);
+        row.kind = PolygonKernel::KindName(kernel.kind());
+        row.kernel_kind = kernel.stats_mask();
+        row.batch = batch;
+        row.points = reps * batch;
+        row.time_ms = sec * 1000.0 / static_cast<double>(reps);
+        row.mpoints_per_sec =
+            sec > 0.0 ? static_cast<double>(row.points) / sec / 1e6 : 0.0;
+        if (arm == simd::Arm::kScalar) {
+          oracle.assign(batch, false);
+          for (std::size_t i = 0; i < batch; ++i) oracle[i] = flags[i];
+        } else {
+          for (std::size_t i = 0; i < batch; ++i) {
+            if (flags[i] != oracle[i]) ++row.mismatches;
+          }
+        }
+        rows.push_back(row);
+      }
+    }
+  }
+
+  std::cout << "=== Batch classification micro bench: "
+            << (quick ? "quick" : "full") << ", "
+            << total_points / 1000000.0 << "M points/cell ===\n";
+  std::cout << "polygon     arm     kind               batch    Mpts/s  "
+               "us/batch  mismatches\n";
+  for (const ClassifyRow& r : rows) {
+    std::cout << std::left << std::setw(12) << r.polygon << std::setw(8)
+              << r.arm << std::setw(19) << r.kind << std::right
+              << std::setw(6) << r.batch << std::fixed << std::setw(10)
+              << std::setprecision(1) << r.mpoints_per_sec << std::setw(10)
+              << std::setprecision(2) << r.time_ms * 1000.0 << std::setw(12)
+              << r.mismatches << "\n";
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_classify.json");
+    out << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ClassifyRow& r = rows[i];
+      out << "  {\"bench\": \"classify\", \"polygon\": \"" << r.polygon
+          << "\", \"arm\": \"" << r.arm << "\", \"kind\": \"" << r.kind
+          << "\", \"kernel_kind\": " << r.kernel_kind
+          << ", \"batch\": " << r.batch << ", \"points\": " << r.points
+          << ", \"time_ms\": " << r.time_ms
+          << ", \"mpoints_per_sec\": " << r.mpoints_per_sec
+          << ", \"mismatches\": " << r.mismatches << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::cout << "\nwrote BENCH_classify.json (" << rows.size()
+              << " rows)\n";
+  }
+
+  // Hard self-check: the exactness contract is part of the bench's exit
+  // status so a plain CI run (no gate script) still fails on divergence.
+  for (const ClassifyRow& r : rows) {
+    if (r.mismatches != 0) {
+      std::cerr << "FAIL: " << r.polygon << "/" << r.arm << " batch "
+                << r.batch << " diverged from scalar in " << r.mismatches
+                << " lanes\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -6,57 +6,52 @@
 
 #include "core/point_database.h"
 #include "core/query_stats.h"
-#include "geometry/prepared_area.h"
+#include "geometry/simd/polygon_kernel.h"
 
 namespace vaq {
 
 /// Block size of the batched refine kernels: big enough to amortise loop
-/// overhead and vectorise the grid classification, small enough that the
-/// block's SoA arrays stay in L1.
+/// overhead and fill the vector lanes of the classification kernel, small
+/// enough that the block's SoA arrays stay in L1. Matches the
+/// `PolygonKernel` internal block, so each refine block is one kernel
+/// invocation.
 inline constexpr std::size_t kRefineBlock = 256;
-
-/// Boundary resolution both kernels below share: `inside[j]` becomes the
-/// exact `Contains` verdict — O(1) from the grid class away from the
-/// boundary band, the exact point test only inside it. Any tuning of this
-/// step (epsilons, fast paths) must stay common to the static refine and
-/// dynamic delta paths, which are required to agree bit-for-bit.
-inline void ResolveInsideFlags(const PreparedArea& prep, const double* xs,
-                               const double* ys, std::size_t m,
-                               const unsigned char* cls, bool* inside) {
-  for (std::size_t j = 0; j < m; ++j) {
-    inside[j] = cls[j] == PreparedArea::kPointInside ||
-                (cls[j] == PreparedArea::kPointBoundary &&
-                 prep.Contains({xs[j], ys[j]}));
-  }
-}
 
 /// The batched refine kernel every query method shares: streams the
 /// candidate ids through the database's batched object-IO boundary in
 /// `kRefineBlock`-sized blocks — gather coordinates (`FetchPoints`,
-/// prefetched), bulk-classify against the prepared grid
-/// (`ClassifyPoints`), resolve boundary-cell points with the exact
-/// row-local test — and hands each block to
+/// prefetched), then batch-classify through the query-specialised
+/// `PolygonKernel` (grid classes + masked boundary-band resolve, or the
+/// convex/small-m ring kernels; see `src/geometry/simd/`) — and hands each
+/// block to
 ///
 ///   per_block(const PointId* ids, std::size_t m,
 ///             const double* xs, const double* ys, const bool* inside)
 ///
-/// where `inside[j]` is exactly `prep.polygon().Contains({xs[j], ys[j]})`.
-/// Callers only consume the verdicts (filter-refine pushes hits, the
-/// flood also expands hits' neighbours); the classification logic and its
-/// tuning live here once.
+/// where `inside[j]` is exactly `polygon.Contains({xs[j], ys[j]})` for the
+/// kernel's polygon. Callers only consume the verdicts (filter-refine
+/// pushes hits, the flood also expands hits' neighbours); the
+/// classification logic and its tuning live in the kernel once.
+///
+/// The `n % kRefineBlock` tail is not a special case: partial blocks run
+/// through the same masked kernel entry as full ones (`ContainsBatch`
+/// handles any block length), so both arms execute one code path.
+///
+/// Records which kernel ran in `stats->kernel_kind` (a bitmask, OR-merged
+/// across blocks, legs and repetitions).
 template <typename Fn>
-void ForEachRefinedBlock(const PointDatabase& db, const PreparedArea& prep,
+void ForEachRefinedBlock(const PointDatabase& db, const PolygonKernel& kernel,
                          const PointId* ids, std::size_t n,
                          QueryStats* stats, Fn&& per_block) {
+  if (n == 0) return;
+  if (stats != nullptr) stats->kernel_kind |= kernel.stats_mask();
   double xs[kRefineBlock];
   double ys[kRefineBlock];
-  unsigned char cls[kRefineBlock];
   bool inside[kRefineBlock];
   for (std::size_t base = 0; base < n; base += kRefineBlock) {
     const std::size_t m = std::min(kRefineBlock, n - base);
     db.FetchPoints(ids + base, m, xs, ys, stats);
-    prep.ClassifyPoints(xs, ys, m, cls);
-    ResolveInsideFlags(prep, xs, ys, m, cls, inside);
+    kernel.ContainsBatch(xs, ys, m, inside);
     per_block(ids + base, m, xs, ys, inside);
   }
 }
@@ -64,22 +59,22 @@ void ForEachRefinedBlock(const PointDatabase& db, const PreparedArea& prep,
 /// The same classification kernel over caller-owned SoA coordinate streams
 /// — no id gather and no object-IO charge. This is the delta-refine pass
 /// of the dynamic database: the delta buffer already *is* SoA and memory-
-/// resident (a memtable), so the only work left is the blocked grid
-/// classification plus exact boundary resolution. Hands each block to
+/// resident (a memtable), so the only work left is the blocked batch
+/// containment test. Hands each block to
 ///
 ///   per_block(std::size_t offset, std::size_t m, const bool* inside)
 ///
-/// where `inside[j]` is `prep.polygon().Contains({xs[offset+j], ...})`.
+/// where `inside[j]` is `polygon.Contains({xs[offset+j], ys[offset+j]})`.
+/// The caller owns the stats slot and is expected to OR
+/// `kernel.stats_mask()` into `QueryStats::kernel_kind` itself.
 template <typename Fn>
-void ForEachClassifiedBlock(const PreparedArea& prep, const double* xs,
+void ForEachClassifiedBlock(const PolygonKernel& kernel, const double* xs,
                             const double* ys, std::size_t n,
                             Fn&& per_block) {
-  unsigned char cls[kRefineBlock];
   bool inside[kRefineBlock];
   for (std::size_t base = 0; base < n; base += kRefineBlock) {
     const std::size_t m = std::min(kRefineBlock, n - base);
-    prep.ClassifyPoints(xs + base, ys + base, m, cls);
-    ResolveInsideFlags(prep, xs + base, ys + base, m, cls, inside);
+    kernel.ContainsBatch(xs + base, ys + base, m, inside);
     per_block(base, m, inside);
   }
 }

@@ -47,16 +47,17 @@ std::vector<PointId> RunDynamicSnapshotQuery(
         }
       });
     } else {
-      // `Prepared` is memoized on the polygon, so when the base pass
+      // `PreparedKernel` is memoized on the polygon, so when the base pass
       // already built the (larger, base-sized) grid for this area this
-      // returns it unchanged; only paths where the base never prepared —
-      // e.g. the voronoi flood's empty-base early return — pay a fresh
-      // delta-sized build.
-      const PreparedArea& prep = ctx.Prepared(area, dn);
+      // returns its kernel unchanged; only paths where the base never
+      // prepared — e.g. the voronoi flood's empty-base early return — pay
+      // a fresh delta-sized build.
+      const PolygonKernel& kernel = ctx.PreparedKernel(area, dn);
+      ctx.stats.kernel_kind |= kernel.stats_mask();
       snap.ForEachDeltaRun([&](std::size_t run_offset, const double* xs,
                                 const double* ys, std::size_t n) {
         ForEachClassifiedBlock(
-            prep, xs, ys, n,
+            kernel, xs, ys, n,
             [&](std::size_t offset, std::size_t m, const bool* inside) {
               for (std::size_t j = 0; j < m; ++j) {
                 if (inside[j]) {

@@ -44,10 +44,12 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
   stats->Reset();
   const auto t0 = std::chrono::steady_clock::now();
   // Boundary-cell buckets validate roughly the MBR's share of the points;
-  // that estimate sizes the prepared grid.
-  const PreparedArea& prep = ctx.Prepared(
+  // that estimate sizes the prepared grid. The kernel refines the
+  // straddling buckets; `prep` still answers the O(1) box classification.
+  const PolygonKernel& kernel = ctx.PreparedKernel(
       area,
       PreparedArea::EstimateMbrShare(db_->size(), world_, area.Bounds()));
+  const PreparedArea& prep = kernel.prep();
   std::vector<PointId> result;
 
   const Box window = Box::Intersection(area.Bounds(), world_);
@@ -98,7 +100,7 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
             // inside it).
             stats->candidates += bucket.size();
             ForEachRefinedBlock(
-                *db_, prep, bucket.data(), bucket.size(), stats,
+                *db_, kernel, bucket.data(), bucket.size(), stats,
                 [&](const PointId* ids, std::size_t m, const double*,
                     const double*, const bool* inside) {
                   for (std::size_t j = 0; j < m; ++j) {

@@ -8,6 +8,7 @@
 
 #include "core/query_stats.h"
 #include "geometry/prepared_area.h"
+#include "geometry/simd/polygon_kernel.h"
 #include "index/spatial_index.h"
 
 namespace vaq {
@@ -145,7 +146,25 @@ class QueryContext {
     prepared_.Prepare(area, side);
     prepared_side_ = side;
     prepared_vertices_ = area.vertices();
+    kernel_ready_ = false;  // The kernel snapshots prepared_'s arrays.
     return prepared_;
+  }
+
+  /// The context's batch containment kernel over `Prepared(area, ...)` —
+  /// the query-specialised classifier selected at prepare time (see
+  /// `PolygonKernel`). Memoized alongside the prepared structure: a memo
+  /// hit on the polygon reuses the kernel's SoA snapshots too, a rebuild
+  /// re-selects and re-snapshots. Re-prepared if the process-wide dispatch
+  /// arm changed (only tests toggle that mid-process).
+  const PolygonKernel& PreparedKernel(const Polygon& area,
+                                      std::size_t expected_tests = 0) {
+    const PreparedArea& prep = Prepared(area, expected_tests);
+    const simd::Arm arm = simd::DispatchArm();
+    if (!kernel_ready_ || kernel_.arm() != arm) {
+      kernel_.Prepare(prep, arm);
+      kernel_ready_ = true;
+    }
+    return kernel_;
   }
 
   /// Sorts `ids` ascending, where every id is < `universe` and ids are
@@ -186,6 +205,10 @@ class QueryContext {
   /// copy) and grid side; side -1 = nothing prepared yet.
   std::vector<Point> prepared_vertices_;
   int prepared_side_ = -1;
+  /// Batch kernel bound to `prepared_`; valid only while `kernel_ready_`
+  /// (invalidated whenever `prepared_` is rebuilt).
+  PolygonKernel kernel_;
+  bool kernel_ready_ = false;
   std::vector<std::uint64_t> sort_bitmap_;
 };
 

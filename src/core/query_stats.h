@@ -62,6 +62,15 @@ struct QueryStats {
   std::uint64_t pages_touched = 0;
   std::uint64_t page_cache_hits = 0;
   std::uint64_t page_cache_misses = 0;
+  /// Bitmask of the `PolygonKernel` paths the refine step executed (see
+  /// `PolygonKernel::kStats*`): which specialised classifier ran
+  /// (grid-residual / convex half-plane / small-m edge loop) and whether
+  /// it ran on the AVX2 arm. A *mask*, not an enum value, so the merge
+  /// across sharded legs and accumulated repetitions is a plain OR and
+  /// every kernel that participated stays visible in experiment JSON.
+  /// 0 when the query never invoked a batch kernel (pure bulk-accept or
+  /// index-only paths).
+  std::uint64_t kernel_kind = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -92,6 +101,7 @@ struct QueryStats {
     pages_touched += o.pages_touched;
     page_cache_hits += o.page_cache_hits;
     page_cache_misses += o.page_cache_misses;
+    kernel_kind |= o.kernel_kind;  // Mask of kernels that ran, not a sum.
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

@@ -46,7 +46,9 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
 
     // The filter ran first, so the exact candidate count sizes the
     // prepared grid: the build cost amortises over this many point tests.
-    const PreparedArea& prep = ctx.Prepared(area, candidates.size());
+    // `PreparedKernel` also selects the specialised batch classifier
+    // (convex half-plane / small-m / grid-residual) for the polygon.
+    const PolygonKernel& kernel = ctx.PreparedKernel(area, candidates.size());
 
     // Refine: the shared batched SoA kernel (see batch_refine.h) streams
     // candidate blocks through the IO boundary and the prepared grid;
@@ -56,7 +58,7 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
     db_->PrefetchPoints(candidates.data(), candidates.size());
     result.reserve(candidates.size());
     ForEachRefinedBlock(
-        *db_, prep, candidates.data(), candidates.size(), stats,
+        *db_, kernel, candidates.data(), candidates.size(), stats,
         [&](const PointId* ids, std::size_t m, const double*, const double*,
             const bool* inside) {
           for (std::size_t j = 0; j < m; ++j) {

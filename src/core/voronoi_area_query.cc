@@ -87,7 +87,11 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
   // pre-sizes the result so the hot loop never reallocates.
   const std::size_t expected =
       PreparedArea::EstimateMbrShare(n, db_->bounds(), area.Bounds());
-  const PreparedArea& prep = ctx.Prepared(area, expected);
+  // The kernel handles the frontier blocks' batch containment; `prep` is
+  // still consulted directly for the per-neighbour screens (cell classes,
+  // segment tests) on the boundary shell.
+  const PolygonKernel& kernel = ctx.PreparedKernel(area, expected);
+  const PreparedArea& prep = kernel.prep();
   result.reserve(expected);
 
   // Line 3-4: seed = NN(P, arbitrary position in A).
@@ -149,7 +153,7 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
     // Each generation streams through the shared batched refine kernel
     // (object IO + grid classification + exact boundary resolution per
     // 256-block); the per-block callback owns the graph side.
-    ForEachRefinedBlock(*db_, prep, frontier.data(), frontier_len, stats, [&](
+    ForEachRefinedBlock(*db_, kernel, frontier.data(), frontier_len, stats, [&](
         const PointId* block, std::size_t m, const double* bx,
         const double* by, const bool* inside) {
       // Resolve the block's CSR adjacency rows up front: one pass pulls

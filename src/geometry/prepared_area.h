@@ -174,6 +174,27 @@ class PreparedArea {
   std::size_t boundary_cell_count() const { return boundary_cells_; }
   std::size_t inside_cell_count() const { return inside_cells_; }
 
+  // -- Raw grid / CSR access for the batch kernels (src/geometry/simd/) -----
+  // `PolygonKernel` snapshots these to run the vector twin of
+  // `ClassifyPoints` / `ContainsViaRow` on identical values. The returned
+  // pointers stay valid until the next `Prepare` (RebindPolygon does not
+  // invalidate them).
+
+  int grid_nx() const { return nx_; }
+  int grid_ny() const { return ny_; }
+  double inv_cell_w() const { return inv_cw_; }
+  double inv_cell_h() const { return inv_ch_; }
+  /// Per-cell class array, row-major `grid_ny() x grid_nx()`.
+  const unsigned char* cell_class_data() const { return cell_class_.data(); }
+  /// Row CSR: the edges whose y-range meets grid row r are
+  /// `row_edges_data()[row_edge_offsets_data()[r] ..
+  ///                   row_edge_offsets_data()[r + 1])`.
+  const std::uint32_t* row_edge_offsets_data() const {
+    return row_edge_offsets_.data();
+  }
+  const std::uint32_t* row_edges_data() const { return row_edges_.data(); }
+  std::size_t row_edges_size() const { return row_edges_.size(); }
+
  private:
   // Cell classes share the kPoint* values: 0 outside, 1 inside, 2 boundary.
   static constexpr unsigned char kCellUnknown = 3;

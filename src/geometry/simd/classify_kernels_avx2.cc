@@ -1,0 +1,413 @@
+// AVX2 arm of the batch classification kernels. This translation unit is
+// compiled with -mavx2 and -ffp-contract=off (see CMakeLists.txt): the
+// certified-filter argument below relies on the determinant being computed
+// with plain IEEE multiply/subtract — a fused multiply-add would produce a
+// differently-rounded value than `geometry/predicates.cc` and break the
+// bit-for-bit agreement contract with the scalar arm.
+//
+// Exactness contract (see DESIGN.md §11): every lane either
+//   (a) passes Shewchuk's static filter, in which case its answer equals
+//       the exact real-arithmetic result and therefore equals whatever the
+//       scalar path computes for the same point, or
+//   (b) is flagged `needs_exact` and resolved by the caller through the
+//       SAME scalar exact code the scalar arm runs.
+// Both arms therefore return identical bytes for finite inputs without the
+// vector code ever needing expansion arithmetic.
+#include "geometry/simd/classify_kernels.h"
+
+#if defined(VAQ_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace vaq::simd {
+
+namespace {
+
+// Lane-activation masks for _mm256_maskload_pd: sliding window over a
+// constant sign-bit table, `active` in [1, 4].
+inline __m256i TailMask(std::size_t active) {
+  alignas(32) static const long long kBits[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kBits + (4 - active)));
+}
+
+// Loads `active` doubles from p, zero-filling the rest. maskload suppresses
+// faults on masked-out lanes, so reading a partial tail block never touches
+// memory past p[active-1].
+inline __m256d LoadLanes(const double* p, std::size_t active) {
+  if (active >= 4) return _mm256_loadu_pd(p);
+  return _mm256_maskload_pd(p, TailMask(active));
+}
+
+inline __m256d AbsPd(__m256d v) {
+  const __m256d mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x7fffffffffffffffULL)));
+  return _mm256_and_pd(v, mask);
+}
+
+inline __m256d NegPd(__m256d v) { return _mm256_xor_pd(v, _mm256_set1_pd(-0.0)); }
+
+struct Orient4 {
+  __m256d det;       // fl(detleft - detright), same arithmetic as Orient2D
+  __m256d errbound;  // kCcwErrBound * fl(|detleft| + |detright|)
+};
+
+// Four-lane orient2d determinant with its static error bound — the vector
+// twin of the adaptive filter's first stage in `predicates.cc`.
+inline Orient4 OrientLanes(__m256d ax, __m256d ay, __m256d bx, __m256d by,
+                           __m256d px, __m256d py) {
+  const __m256d acx = _mm256_sub_pd(ax, px);
+  const __m256d bcy = _mm256_sub_pd(by, py);
+  const __m256d acy = _mm256_sub_pd(ay, py);
+  const __m256d bcx = _mm256_sub_pd(bx, px);
+  const __m256d detleft = _mm256_mul_pd(acx, bcy);
+  const __m256d detright = _mm256_mul_pd(acy, bcx);
+  const __m256d det = _mm256_sub_pd(detleft, detright);
+  const __m256d detsum = _mm256_add_pd(AbsPd(detleft), AbsPd(detright));
+  const __m256d errbound = _mm256_mul_pd(_mm256_set1_pd(kCcwErrBound), detsum);
+  return {det, errbound};
+}
+
+// (px,py) inside [minx,maxx]x[miny,maxy] — the same four comparisons as
+// Box::Contains, so NaN lanes come out false exactly like the scalar path.
+inline __m256d InBoxLanes(__m256d px, __m256d py, __m256d minx, __m256d maxx,
+                          __m256d miny, __m256d maxy) {
+  const __m256d okx = _mm256_and_pd(_mm256_cmp_pd(px, minx, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(px, maxx, _CMP_LE_OQ));
+  const __m256d oky = _mm256_and_pd(_mm256_cmp_pd(py, miny, _CMP_GE_OQ),
+                                    _mm256_cmp_pd(py, maxy, _CMP_LE_OQ));
+  return _mm256_and_pd(okx, oky);
+}
+
+inline void StoreFlags(__m256d mask, std::size_t active, bool* out) {
+  const unsigned bits = static_cast<unsigned>(_mm256_movemask_pd(mask));
+  if (active == 4) {
+    // Expand the 4 mask bits to 4 bool bytes in one 32-bit store.
+    const std::uint32_t bytes = (bits & 1u) | ((bits & 2u) << 7) |
+                                ((bits & 4u) << 14) | ((bits & 8u) << 21);
+    std::memcpy(out, &bytes, 4);
+    return;
+  }
+  for (std::size_t j = 0; j < active; ++j) out[j] = ((bits >> j) & 1u) != 0;
+}
+
+// Chain short-circuit threshold: when the circle screen leaves at most
+// this many lanes of an 8-block undecided, flagging them `needs_exact`
+// (one O(1) scalar grid test each) beats running m edge iterations for
+// the whole block.
+constexpr unsigned kScreenMaxExact = 2;
+
+// Circle screen for one 4-lane half: certified-inside lanes, and the
+// in-MBR lanes the screen could not decide. NaN coordinates produce false
+// in every comparison, landing in "decided outside" exactly like the
+// scalar bounds reject.
+struct Screen4 {
+  __m256d incirc;
+  __m256d undecided;
+};
+
+inline Screen4 ScreenLanes(__m256d px, __m256d py, __m256d ccx, __m256d ccy,
+                           __m256d rin2, __m256d rout2, __m256d inm) {
+  const __m256d dx = _mm256_sub_pd(px, ccx);
+  const __m256d dy = _mm256_sub_pd(py, ccy);
+  const __m256d d2 =
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+  const __m256d incirc = _mm256_cmp_pd(d2, rin2, _CMP_LT_OQ);
+  const __m256d outcirc = _mm256_cmp_pd(d2, rout2, _CMP_GT_OQ);
+  return {incirc,
+          _mm256_andnot_pd(_mm256_or_pd(incirc, outcirc), inm)};
+}
+
+}  // namespace
+
+void ClassifyCellsAvx2(const GridView& g, const double* xs, const double* ys,
+                       std::size_t n, unsigned char* cls) {
+  const __m256d vminx = _mm256_set1_pd(g.minx);
+  const __m256d vmaxx = _mm256_set1_pd(g.maxx);
+  const __m256d vminy = _mm256_set1_pd(g.miny);
+  const __m256d vmaxy = _mm256_set1_pd(g.maxy);
+  const __m256d vicw = _mm256_set1_pd(g.inv_cw);
+  const __m256d vich = _mm256_set1_pd(g.inv_ch);
+  const __m128i vnx1 = _mm_set1_epi32(g.nx - 1);
+  const __m128i vny1 = _mm_set1_epi32(g.ny - 1);
+  const __m128i vnx = _mm_set1_epi32(g.nx);
+  for (std::size_t i = 0; i < n; i += 4) {
+    const std::size_t rem = n - i;
+    const std::size_t a = rem < 4 ? rem : 4;
+    const __m256d px = LoadLanes(xs + i, a);
+    const __m256d py = LoadLanes(ys + i, a);
+    // The scalar loop rejects with (x < minx || x > maxx || ...); keeping
+    // lanes where all four >= / <= comparisons hold is the same predicate
+    // for finite coordinates.
+    const __m256d in = InBoxLanes(px, py, vminx, vmaxx, vminy, vmaxy);
+    // For in-range lanes (x - minx) is exact-signed and the product is in
+    // [0, nx], so truncation + high clamp reproduces the scalar
+    //   cx = int((x - minx) * inv_cw); cx = cx >= nx ? nx - 1 : cx;
+    // Out-of-range lanes may convert to the indefinite value; their index
+    // is never used because the class is forced to 0 (outside) below.
+    __m128i cx = _mm256_cvttpd_epi32(_mm256_mul_pd(_mm256_sub_pd(px, vminx), vicw));
+    __m128i cy = _mm256_cvttpd_epi32(_mm256_mul_pd(_mm256_sub_pd(py, vminy), vich));
+    cx = _mm_min_epi32(cx, vnx1);
+    cy = _mm_min_epi32(cy, vny1);
+    const __m128i idx = _mm_add_epi32(_mm_mullo_epi32(cy, vnx), cx);
+    alignas(16) std::int32_t buf[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(buf), idx);
+    const unsigned inbits = static_cast<unsigned>(_mm256_movemask_pd(in));
+    for (std::size_t j = 0; j < a; ++j) {
+      cls[i + j] =
+          ((inbits >> j) & 1u) != 0 ? g.cell_class[buf[j]] : static_cast<unsigned char>(0);
+    }
+  }
+}
+
+bool ConvexContainsAvx2(const EdgeSoA& e, std::size_t m,
+                        const CircleScreen& cs, double bminx, double bminy,
+                        double bmaxx, double bmaxy, const double* xs,
+                        const double* ys, std::size_t n, bool* inside,
+                        bool* needs_exact) {
+  unsigned any_exact = 0;
+  const __m256d vminx = _mm256_set1_pd(bminx);
+  const __m256d vmaxx = _mm256_set1_pd(bmaxx);
+  const __m256d vminy = _mm256_set1_pd(bminy);
+  const __m256d vmaxy = _mm256_set1_pd(bmaxy);
+  const __m256d vccx = _mm256_set1_pd(cs.cx);
+  const __m256d vccy = _mm256_set1_pd(cs.cy);
+  const __m256d vrin2 = _mm256_set1_pd(cs.rin2);
+  const __m256d vrout2 = _mm256_set1_pd(cs.rout2);
+  const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  for (std::size_t i = 0; i < n; i += 8) {
+    const std::size_t rem = n - i;
+    const std::size_t a0 = rem < 4 ? rem : 4;
+    const std::size_t a1 = rem > 4 ? (rem - 4 < 4 ? rem - 4 : 4) : 0;
+    const unsigned amask0 = (1u << a0) - 1u;
+    const unsigned amask1 = (1u << a1) - 1u;
+    const __m256d px0 = LoadLanes(xs + i, a0);
+    const __m256d py0 = LoadLanes(ys + i, a0);
+    const __m256d px1 = a1 != 0 ? LoadLanes(xs + i + 4, a1) : _mm256_setzero_pd();
+    const __m256d py1 = a1 != 0 ? LoadLanes(ys + i + 4, a1) : _mm256_setzero_pd();
+    const __m256d inm0 = InBoxLanes(px0, py0, vminx, vmaxx, vminy, vmaxy);
+    const __m256d inm1 = InBoxLanes(px1, py1, vminx, vmaxx, vminy, vmaxy);
+    // Circle screen first: certified inside / outside / out-of-MBR lanes
+    // need no edge work at all. Only when more than kScreenMaxExact lanes
+    // stay undecided is the half-plane chain worth its m iterations; below
+    // that the stragglers go straight to the exact scalar path.
+    const Screen4 s0 = ScreenLanes(px0, py0, vccx, vccy, vrin2, vrout2, inm0);
+    const Screen4 s1 = ScreenLanes(px1, py1, vccx, vccy, vrin2, vrout2, inm1);
+    const unsigned ub0 =
+        static_cast<unsigned>(_mm256_movemask_pd(s0.undecided)) & amask0;
+    const unsigned ub1 =
+        static_cast<unsigned>(_mm256_movemask_pd(s1.undecided)) & amask1;
+    if (static_cast<unsigned>(__builtin_popcount(ub0) +
+                              __builtin_popcount(ub1)) <= kScreenMaxExact) {
+      any_exact |= ub0 | ub1;
+      StoreFlags(s0.incirc, a0, inside + i);
+      StoreFlags(s0.undecided, a0, needs_exact + i);
+      if (a1 != 0) {
+        StoreFlags(s1.incirc, a1, inside + i + 4);
+        StoreFlags(s1.undecided, a1, needs_exact + i + 4);
+      }
+      continue;
+    }
+    __m256d anyneg0 = _mm256_setzero_pd();
+    __m256d anyneg1 = _mm256_setzero_pd();
+    __m256d allok0 = ones;
+    __m256d allok1 = ones;
+    for (std::size_t k = 0; k < m; ++k) {
+      const __m256d ax = _mm256_broadcast_sd(e.ax + k);
+      const __m256d ay = _mm256_broadcast_sd(e.ay + k);
+      const __m256d bx = _mm256_broadcast_sd(e.bx + k);
+      const __m256d by = _mm256_broadcast_sd(e.by + k);
+      const Orient4 o0 = OrientLanes(ax, ay, bx, by, px0, py0);
+      const Orient4 o1 = OrientLanes(ax, ay, bx, by, px1, py1);
+      // Certified strictly-outside (det <= -errbound) vs certified
+      // on-or-inside (det >= errbound; equality with errbound == 0 covers
+      // the certified-collinear case, which counts as inside per the
+      // on-edge rule). Lanes matching neither stay uncertain.
+      anyneg0 = _mm256_or_pd(anyneg0, _mm256_cmp_pd(o0.det, NegPd(o0.errbound), _CMP_LE_OQ));
+      anyneg1 = _mm256_or_pd(anyneg1, _mm256_cmp_pd(o1.det, NegPd(o1.errbound), _CMP_LE_OQ));
+      allok0 = _mm256_and_pd(allok0, _mm256_cmp_pd(o0.det, o0.errbound, _CMP_GE_OQ));
+      allok1 = _mm256_and_pd(allok1, _mm256_cmp_pd(o1.det, o1.errbound, _CMP_GE_OQ));
+      // All active lanes certified outside: no later edge can change that.
+      if ((static_cast<unsigned>(_mm256_movemask_pd(anyneg0)) & amask0) == amask0 &&
+          (static_cast<unsigned>(_mm256_movemask_pd(anyneg1)) & amask1) == amask1) {
+        break;
+      }
+    }
+    const __m256d in0 = _mm256_and_pd(inm0, allok0);
+    const __m256d in1 = _mm256_and_pd(inm1, allok1);
+    const __m256d ne0 = _mm256_andnot_pd(anyneg0, _mm256_andnot_pd(allok0, inm0));
+    const __m256d ne1 = _mm256_andnot_pd(anyneg1, _mm256_andnot_pd(allok1, inm1));
+    any_exact |= (static_cast<unsigned>(_mm256_movemask_pd(ne0)) & amask0) |
+                 (static_cast<unsigned>(_mm256_movemask_pd(ne1)) & amask1);
+    StoreFlags(in0, a0, inside + i);
+    StoreFlags(ne0, a0, needs_exact + i);
+    if (a1 != 0) {
+      StoreFlags(in1, a1, inside + i + 4);
+      StoreFlags(ne1, a1, needs_exact + i + 4);
+    }
+  }
+  return any_exact != 0;
+}
+
+namespace {
+
+// Per-edge state for one 4-lane half of the crossing-parity kernel.
+struct ParityAcc {
+  __m256d parity = _mm256_setzero_pd();
+  __m256d onedge = _mm256_setzero_pd();
+  __m256d uncert = _mm256_setzero_pd();
+};
+
+// One edge vs four points: upward/downward straddle toggles with certified
+// strict sign, on-edge detection gated by the edge MBR, uncertainty
+// accumulation for everything the filter cannot decide. Mirrors the body
+// of `Polygon::Contains`' edge loop.
+inline void ParityEdge(ParityAcc* acc, __m256d ax, __m256d ay, __m256d bx,
+                       __m256d by, __m256d ebminx, __m256d ebmaxx,
+                       __m256d ebminy, __m256d ebmaxy, __m256d px,
+                       __m256d py) {
+  const Orient4 o = OrientLanes(ax, ay, bx, by, px, py);
+  const __m256d aley = _mm256_cmp_pd(ay, py, _CMP_LE_OQ);
+  const __m256d bgty = _mm256_cmp_pd(by, py, _CMP_GT_OQ);
+  const __m256d bley = _mm256_cmp_pd(by, py, _CMP_LE_OQ);
+  const __m256d up = _mm256_and_pd(aley, bgty);
+  const __m256d dn = _mm256_andnot_pd(aley, bley);
+  const __m256d inbox = InBoxLanes(px, py, ebminx, ebmaxx, ebminy, ebmaxy);
+  const __m256d certpos = _mm256_cmp_pd(o.det, o.errbound, _CMP_GE_OQ);
+  const __m256d certneg = _mm256_cmp_pd(o.det, NegPd(o.errbound), _CMP_LE_OQ);
+  const __m256d certified = _mm256_or_pd(certpos, certneg);
+  const __m256d zero = _mm256_setzero_pd();
+  // certpos/certneg include det == 0 when errbound == 0, so the strict
+  // comparisons against zero split "certified >= 0" into "> 0" vs "== 0"
+  // (an upward crossing toggles only on det > 0, on-edge needs det == 0).
+  const __m256d dpos = _mm256_cmp_pd(o.det, zero, _CMP_GT_OQ);
+  const __m256d dneg = _mm256_cmp_pd(o.det, zero, _CMP_LT_OQ);
+  const __m256d dzer = _mm256_cmp_pd(o.det, zero, _CMP_EQ_OQ);
+  const __m256d toggle =
+      _mm256_or_pd(_mm256_and_pd(up, _mm256_and_pd(certpos, dpos)),
+                   _mm256_and_pd(dn, _mm256_and_pd(certneg, dneg)));
+  const __m256d relevant = _mm256_or_pd(_mm256_or_pd(up, dn), inbox);
+  acc->parity = _mm256_xor_pd(acc->parity, toggle);
+  acc->onedge = _mm256_or_pd(acc->onedge, _mm256_and_pd(inbox, _mm256_and_pd(certified, dzer)));
+  acc->uncert = _mm256_or_pd(acc->uncert, _mm256_andnot_pd(certified, relevant));
+}
+
+}  // namespace
+
+bool CrossingParityAvx2(const EdgeSoA& e, std::size_t m,
+                        const CircleScreen& cs, double bminx, double bminy,
+                        double bmaxx, double bmaxy, const double* xs,
+                        const double* ys, std::size_t n, bool* inside,
+                        bool* needs_exact) {
+  unsigned any_exact = 0;
+  const __m256d vminx = _mm256_set1_pd(bminx);
+  const __m256d vmaxx = _mm256_set1_pd(bmaxx);
+  const __m256d vminy = _mm256_set1_pd(bminy);
+  const __m256d vmaxy = _mm256_set1_pd(bmaxy);
+  const __m256d vccx = _mm256_set1_pd(cs.cx);
+  const __m256d vccy = _mm256_set1_pd(cs.cy);
+  const __m256d vrin2 = _mm256_set1_pd(cs.rin2);
+  const __m256d vrout2 = _mm256_set1_pd(cs.rout2);
+  for (std::size_t i = 0; i < n; i += 8) {
+    const std::size_t rem = n - i;
+    const std::size_t a0 = rem < 4 ? rem : 4;
+    const std::size_t a1 = rem > 4 ? (rem - 4 < 4 ? rem - 4 : 4) : 0;
+    const unsigned amask0 = (1u << a0) - 1u;
+    const unsigned amask1 = (1u << a1) - 1u;
+    const __m256d px0 = LoadLanes(xs + i, a0);
+    const __m256d py0 = LoadLanes(ys + i, a0);
+    const __m256d px1 = a1 != 0 ? LoadLanes(xs + i + 4, a1) : _mm256_setzero_pd();
+    const __m256d py1 = a1 != 0 ? LoadLanes(ys + i + 4, a1) : _mm256_setzero_pd();
+    const __m256d inm0 = InBoxLanes(px0, py0, vminx, vmaxx, vminy, vmaxy);
+    const __m256d inm1 = InBoxLanes(px1, py1, vminx, vmaxx, vminy, vmaxy);
+    const Screen4 s0 = ScreenLanes(px0, py0, vccx, vccy, vrin2, vrout2, inm0);
+    const Screen4 s1 = ScreenLanes(px1, py1, vccx, vccy, vrin2, vrout2, inm1);
+    const unsigned ub0 =
+        static_cast<unsigned>(_mm256_movemask_pd(s0.undecided)) & amask0;
+    const unsigned ub1 =
+        static_cast<unsigned>(_mm256_movemask_pd(s1.undecided)) & amask1;
+    if (static_cast<unsigned>(__builtin_popcount(ub0) +
+                              __builtin_popcount(ub1)) <= kScreenMaxExact) {
+      any_exact |= ub0 | ub1;
+      StoreFlags(s0.incirc, a0, inside + i);
+      StoreFlags(s0.undecided, a0, needs_exact + i);
+      if (a1 != 0) {
+        StoreFlags(s1.incirc, a1, inside + i + 4);
+        StoreFlags(s1.undecided, a1, needs_exact + i + 4);
+      }
+      continue;
+    }
+    ParityAcc acc0;
+    ParityAcc acc1;
+    for (std::size_t k = 0; k < m; ++k) {
+      const __m256d ax = _mm256_broadcast_sd(e.ax + k);
+      const __m256d ay = _mm256_broadcast_sd(e.ay + k);
+      const __m256d bx = _mm256_broadcast_sd(e.bx + k);
+      const __m256d by = _mm256_broadcast_sd(e.by + k);
+      const __m256d ebnx = _mm256_broadcast_sd(e.ebminx + k);
+      const __m256d ebxx = _mm256_broadcast_sd(e.ebmaxx + k);
+      const __m256d ebny = _mm256_broadcast_sd(e.ebminy + k);
+      const __m256d ebxy = _mm256_broadcast_sd(e.ebmaxy + k);
+      ParityEdge(&acc0, ax, ay, bx, by, ebnx, ebxx, ebny, ebxy, px0, py0);
+      ParityEdge(&acc1, ax, ay, bx, by, ebnx, ebxx, ebny, ebxy, px1, py1);
+    }
+    // Out-of-MBR lanes are decided (false) without consulting the edge
+    // accumulators, like the scalar bounds reject; the uncertainty flag is
+    // masked the same way.
+    const __m256d decided0 = _mm256_or_pd(acc0.onedge, acc0.parity);
+    const __m256d decided1 = _mm256_or_pd(acc1.onedge, acc1.parity);
+    const __m256d in0 = _mm256_and_pd(inm0, _mm256_andnot_pd(acc0.uncert, decided0));
+    const __m256d in1 = _mm256_and_pd(inm1, _mm256_andnot_pd(acc1.uncert, decided1));
+    const __m256d ne0 = _mm256_and_pd(inm0, acc0.uncert);
+    const __m256d ne1 = _mm256_and_pd(inm1, acc1.uncert);
+    any_exact |= (static_cast<unsigned>(_mm256_movemask_pd(ne0)) & amask0) |
+                 (static_cast<unsigned>(_mm256_movemask_pd(ne1)) & amask1);
+    StoreFlags(in0, a0, inside + i);
+    StoreFlags(ne0, a0, needs_exact + i);
+    if (a1 != 0) {
+      StoreFlags(in1, a1, inside + i + 4);
+      StoreFlags(ne1, a1, needs_exact + i + 4);
+    }
+  }
+  return any_exact != 0;
+}
+
+int RowParityAvx2(const EdgeSoA& e, std::size_t begin, std::size_t end,
+                  double px, double py) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  unsigned toggles = 0;
+  bool onedge = false;
+  for (std::size_t k = begin; k < end; k += 4) {
+    const std::size_t reml = end - k;
+    const std::size_t a = reml < 4 ? reml : 4;
+    const unsigned amask = (1u << a) - 1u;
+    const __m256d ax = LoadLanes(e.ax + k, a);
+    const __m256d ay = LoadLanes(e.ay + k, a);
+    const __m256d bx = LoadLanes(e.bx + k, a);
+    const __m256d by = LoadLanes(e.by + k, a);
+    const __m256d ebnx = LoadLanes(e.ebminx + k, a);
+    const __m256d ebxx = LoadLanes(e.ebmaxx + k, a);
+    const __m256d ebny = LoadLanes(e.ebminy + k, a);
+    const __m256d ebxy = LoadLanes(e.ebmaxy + k, a);
+    ParityAcc acc;
+    ParityEdge(&acc, ax, ay, bx, by, ebnx, ebxx, ebny, ebxy, vpx, vpy);
+    if ((static_cast<unsigned>(_mm256_movemask_pd(acc.uncert)) & amask) != 0) {
+      return -1;
+    }
+    toggles += static_cast<unsigned>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(acc.parity)) & amask));
+    if ((static_cast<unsigned>(_mm256_movemask_pd(acc.onedge)) & amask) != 0) {
+      onedge = true;
+    }
+  }
+  if (onedge) return 1;
+  return (toggles & 1u) != 0 ? 1 : 0;
+}
+
+}  // namespace vaq::simd
+
+#endif  // VAQ_HAVE_AVX2_KERNELS

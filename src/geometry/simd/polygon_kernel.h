@@ -1,0 +1,152 @@
+#ifndef VAQ_GEOMETRY_SIMD_POLYGON_KERNEL_H_
+#define VAQ_GEOMETRY_SIMD_POLYGON_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/prepared_area.h"
+#include "geometry/simd/classify_kernels.h"
+#include "geometry/simd/simd_dispatch.h"
+
+namespace vaq {
+
+/// Runtime-specialised batch containment kernel over a `PreparedArea`.
+///
+/// Every area-query method refines candidates through the same question —
+/// `polygon.Contains(p)` for a block of SoA points — and PR 6 answered it
+/// one way: grid class per point, exact row test in the boundary band. This
+/// class picks the cheapest *correct* classifier for the query polygon at
+/// `QueryContext::Prepared` time and evaluates it 8 lanes per iteration on
+/// the AVX2 arm:
+///
+///  * `kConvexHalfPlane` — convex rings (detected with the exact
+///    orientation predicate over consecutive vertex triples): containment
+///    is one branch-free half-plane chain, no grid lookup and no
+///    boundary-band tail at all for filter-certified lanes;
+///  * `kSmallMEdge` — small non-convex rings: the full crossing-parity
+///    edge loop is cheaper vectorised over all m edges than the grid
+///    residual machinery;
+///  * `kGridResidual` — everything else: vector grid classification with a
+///    masked resolve, so only boundary-band lanes fall into the (also
+///    vectorised) per-row CSR crossing test.
+///
+/// The scalar arm always runs the grid-residual path — exactly the PR 6
+/// refine loop — so `VAQ_FORCE_SCALAR=1` reproduces the pre-SIMD engine
+/// behaviour byte for byte. **Exactness contract:** on either arm and for
+/// every kind, `ContainsBatch` writes exactly
+/// `prep.polygon().Contains({xs[j], ys[j]})` for finite coordinates; the
+/// vector arms achieve this with Shewchuk's static filter (certified lanes
+/// are mathematically exact) plus scalar exact fallback for uncertain
+/// lanes. See DESIGN.md §11.
+///
+/// Lifetime: a prepared kernel caches SoA copies of the ring edges and raw
+/// pointers into `prep`'s grid/CSR arrays; it must be re-`Prepare`d
+/// whenever `prep` is rebuilt (QueryContext does this), and `prep` must
+/// outlive it. `RebindPolygon` on `prep` does not invalidate the kernel.
+class PolygonKernel {
+ public:
+  enum class Kind : unsigned char {
+    kNone = 0,             ///< Not prepared / degenerate polygon.
+    kGridResidual = 1,     ///< Grid classes + row-CSR boundary resolve.
+    kConvexHalfPlane = 2,  ///< Branch-free half-plane chain (convex ring).
+    kSmallMEdge = 3,       ///< Unrolled crossing-parity loop (small m).
+  };
+
+  // `QueryStats::kernel_kind` bits. Kind and arm are separate bits so the
+  // OR-merge across sharded legs / accumulated queries keeps every kernel
+  // that actually ran visible in experiment JSON.
+  static constexpr std::uint64_t kStatsGridResidual = 1;
+  static constexpr std::uint64_t kStatsConvexHalfPlane = 2;
+  static constexpr std::uint64_t kStatsSmallMEdge = 4;
+  static constexpr std::uint64_t kStatsAvx2 = 8;
+
+  /// Convexity detection is O(m) per Prepare but the half-plane chain is
+  /// O(m) per *point*; past this many vertices the grid path wins even for
+  /// convex rings.
+  static constexpr std::size_t kConvexMaxVertices = 64;
+  /// Non-convex rings up to this size skip the grid machinery entirely:
+  /// the vectorised full edge loop beats class lookup + residual tests.
+  static constexpr std::size_t kSmallMMaxVertices = 6;
+
+  PolygonKernel() = default;
+
+  /// Binds the kernel to `prep` using the process-wide dispatch decision.
+  void Prepare(const PreparedArea& prep) { Prepare(prep, simd::DispatchArm()); }
+
+  /// Binds the kernel to `prep` on an explicit arm (tests and benches; the
+  /// scalar arm ignores specialization and runs the grid-residual path).
+  void Prepare(const PreparedArea& prep, simd::Arm arm);
+
+  bool prepared() const { return prep_ != nullptr; }
+
+  /// The prepared polygon structure this kernel classifies against.
+  /// Precondition: `prepared()`.
+  const PreparedArea& prep() const { return *prep_; }
+
+  Kind kind() const { return kind_; }
+  simd::Arm arm() const { return arm_; }
+
+  /// The `QueryStats::kernel_kind` bits describing the path this kernel
+  /// executes (kind bit, plus `kStatsAvx2` on the vector arm).
+  std::uint64_t stats_mask() const;
+
+  static const char* KindName(Kind kind);
+
+  /// Writes `inside[j] = prep().polygon().Contains({xs[j], ys[j]})` for
+  /// j in [0, n). Any n: full blocks and the n % block tail run the same
+  /// masked kernel entry (no separate scalar remainder loop).
+  void ContainsBatch(const double* xs, const double* ys, std::size_t n,
+                     bool* inside) const;
+
+ private:
+  void ContainsBatchScalarGrid(const double* xs, const double* ys,
+                               std::size_t n, bool* inside) const;
+#if defined(VAQ_HAVE_AVX2_KERNELS)
+  void ContainsBatchAvx2Grid(const double* xs, const double* ys,
+                             std::size_t n, bool* inside) const;
+  void ContainsBatchAvx2Ring(const double* xs, const double* ys,
+                             std::size_t n, bool* inside) const;
+#endif
+
+  const PreparedArea* prep_ = nullptr;
+  Kind kind_ = Kind::kNone;
+  simd::Arm arm_ = simd::Arm::kScalar;
+
+  // Certified bounding-circle pre-screen of the ring kernels (see
+  // `simd::CircleScreen`): conservatively-rounded inscribed/circumscribed
+  // radii around the vertex centroid, computed once per Prepare.
+  simd::CircleScreen screen_;
+
+  // Ring edges in SoA layout for the convex / small-m kernels. For convex
+  // rings the (a, b) endpoints are stored in CCW order (swapped for CW
+  // input), so inside is uniformly orient(a, b, p) >= 0. The eb* arrays
+  // are copies of the polygon's cached per-edge MBRs.
+  std::vector<double> ax_, ay_, bx_, by_;
+  std::vector<double> ebminx_, ebmaxx_, ebminy_, ebmaxy_;
+
+  // Row-CSR edge SoA (grid-residual AVX2 arm): the PreparedArea's
+  // `row_edges_` concatenation expanded to coordinates, plus a borrowed
+  // pointer to its per-row offsets.
+  std::vector<double> rax_, ray_, rbx_, rby_;
+  std::vector<double> rebminx_, rebmaxx_, rebminy_, rebmaxy_;
+  const std::uint32_t* row_offsets_ = nullptr;
+
+  // Grid header copy for the vector cell classification (values identical
+  // to what the scalar `ClassifyPoints` reads).
+  double gminx_ = 0.0, gminy_ = 0.0, gmaxx_ = 0.0, gmaxy_ = 0.0;
+  double ginv_cw_ = 1.0, ginv_ch_ = 1.0;
+  int gnx_ = 0, gny_ = 0;
+};
+
+/// Test/bench entry point: the raw grid-cell classification of `prep`
+/// evaluated on an explicit arm (falls back to scalar when the AVX2 arm is
+/// not available in this binary/CPU). Both arms are bit-identical for
+/// finite coordinates — the property test's oracle check.
+void ClassifyCellsOnArm(const PreparedArea& prep, simd::Arm arm,
+                        const double* xs, const double* ys, std::size_t n,
+                        unsigned char* cls);
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_SIMD_POLYGON_KERNEL_H_

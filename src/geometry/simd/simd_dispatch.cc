@@ -1,0 +1,55 @@
+#include "geometry/simd/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace vaq::simd {
+
+namespace {
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("VAQ_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+Arm ComputeDispatchArm() {
+  if (!Avx2Available() || ForceScalarFromEnv()) return Arm::kScalar;
+  return Arm::kAvx2;
+}
+
+/// Cached decision, encoded as arm+1 so 0 means "not yet computed". A
+/// relaxed atomic suffices: recomputation is idempotent and the engine's
+/// worker threads may race the first query.
+std::atomic<unsigned char> g_dispatch{0};
+
+}  // namespace
+
+bool Avx2Available() {
+#if defined(VAQ_HAVE_AVX2_KERNELS) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Arm DispatchArm() {
+  unsigned char cached = g_dispatch.load(std::memory_order_relaxed);
+  if (cached == 0) {
+    cached = static_cast<unsigned char>(ComputeDispatchArm()) + 1;
+    g_dispatch.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<Arm>(cached - 1);
+}
+
+void RefreshDispatchForTest() {
+  g_dispatch.store(
+      static_cast<unsigned char>(ComputeDispatchArm()) + 1,
+      std::memory_order_relaxed);
+}
+
+const char* ArmName(Arm arm) {
+  return arm == Arm::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace vaq::simd

@@ -1,0 +1,39 @@
+#ifndef VAQ_GEOMETRY_SIMD_SIMD_DISPATCH_H_
+#define VAQ_GEOMETRY_SIMD_SIMD_DISPATCH_H_
+
+namespace vaq::simd {
+
+/// The two implementation arms every batch-classification kernel ships
+/// with. `kScalar` is the portable arm, compiled unconditionally and used
+/// as the bit-exactness oracle; `kAvx2` is the 4-lane (`__m256d`)
+/// vectorised arm, compiled only when the toolchain can target AVX2 and
+/// executed only when the running CPU reports it.
+enum class Arm : unsigned char {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True when the AVX2 arm exists in this binary (the translation unit was
+/// compiled) AND the running CPU supports AVX2. Purely a capability check:
+/// it ignores the `VAQ_FORCE_SCALAR` override.
+bool Avx2Available();
+
+/// The arm batch kernels should run with: `kAvx2` when available unless
+/// the environment variable `VAQ_FORCE_SCALAR` is set to a non-empty value
+/// other than "0" — the CI hook that re-runs the differential harnesses on
+/// the scalar arm so both dispatch paths stay verified. The decision is
+/// computed once and cached (the env cannot change mid-process for any
+/// supported use).
+Arm DispatchArm();
+
+/// Re-reads `VAQ_FORCE_SCALAR` and the CPU capability, replacing the
+/// cached `DispatchArm` decision. Only for tests that toggle the override
+/// via `setenv` in-process; production code never needs it.
+void RefreshDispatchForTest();
+
+/// Human-readable arm name ("scalar" / "avx2") for bench and test output.
+const char* ArmName(Arm arm);
+
+}  // namespace vaq::simd
+
+#endif  // VAQ_GEOMETRY_SIMD_SIMD_DISPATCH_H_

@@ -35,6 +35,7 @@ void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->pages_touched += static_cast<double>(stats.pages_touched);
   avg->page_cache_hits += static_cast<double>(stats.page_cache_hits);
   avg->page_cache_misses += static_cast<double>(stats.page_cache_misses);
+  avg->kernel_kind |= stats.kernel_kind;  // Mask of kernels that ran.
 }
 
 void Finish(MethodAverages* avg, int reps) {
@@ -237,6 +238,7 @@ void WriteMethodJson(const MethodAverages& m, std::ostream& os) {
      << ", \"pages_touched\": " << m.pages_touched
      << ", \"page_cache_hits\": " << m.page_cache_hits
      << ", \"page_cache_misses\": " << m.page_cache_misses
+     << ", \"kernel_kind\": " << m.kernel_kind
      << ", \"batch_wall_ms\": " << m.batch_wall_ms
      << ", \"throughput_qps\": " << m.throughput_qps << "}";
 }

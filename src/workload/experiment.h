@@ -67,6 +67,10 @@ struct MethodAverages {
   double pages_touched = 0.0;
   double page_cache_hits = 0.0;
   double page_cache_misses = 0.0;
+  /// OR of the `QueryStats::kernel_kind` bitmasks across repetitions —
+  /// which batch classification kernels (and arm) the method's refine
+  /// steps executed. A mask, not an average: Finish does not divide it.
+  std::uint64_t kernel_kind = 0;
   /// Wall-clock of the whole batch through the engine and the resulting
   /// queries/second (equals repetitions / wall when the pool is saturated).
   double batch_wall_ms = 0.0;

@@ -1,0 +1,153 @@
+// Runtime CPU dispatch: the `VAQ_FORCE_SCALAR` environment override, the
+// cached arm decision, the per-kind stats bits surfaced through
+// `QueryStats::kernel_kind`, and `QueryContext::PreparedKernel`'s
+// re-preparation when the dispatch arm changes mid-process.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/query_context.h"
+#include "core/query_stats.h"
+#include "geometry/polygon.h"
+#include "geometry/prepared_area.h"
+#include "geometry/simd/polygon_kernel.h"
+#include "geometry/simd/simd_dispatch.h"
+#include "workload/polygon_generator.h"
+
+namespace vaq {
+namespace {
+
+/// Restores the pre-test `VAQ_FORCE_SCALAR` state and dispatch cache no
+/// matter how the test exits, so dispatch mutations cannot leak into other
+/// tests in this binary.
+class ScopedForceScalarEnv {
+ public:
+  ScopedForceScalarEnv() {
+    const char* v = std::getenv("VAQ_FORCE_SCALAR");
+    had_ = v != nullptr;
+    if (had_) saved_ = v;
+  }
+  ~ScopedForceScalarEnv() {
+    if (had_) {
+      ::setenv("VAQ_FORCE_SCALAR", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("VAQ_FORCE_SCALAR");
+    }
+    simd::RefreshDispatchForTest();
+  }
+  void Set(const char* value) {
+    ::setenv("VAQ_FORCE_SCALAR", value, 1);
+    simd::RefreshDispatchForTest();
+  }
+  void Unset() {
+    ::unsetenv("VAQ_FORCE_SCALAR");
+    simd::RefreshDispatchForTest();
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(SimdDispatchTest, ForceScalarEnvOverridesCapability) {
+  ScopedForceScalarEnv env;
+
+  env.Unset();
+  const simd::Arm native = simd::DispatchArm();
+  EXPECT_EQ(native,
+            simd::Avx2Available() ? simd::Arm::kAvx2 : simd::Arm::kScalar);
+
+  env.Set("1");
+  EXPECT_EQ(simd::DispatchArm(), simd::Arm::kScalar);
+
+  // "0" and the empty string mean "not forced".
+  env.Set("0");
+  EXPECT_EQ(simd::DispatchArm(), native);
+  env.Set("");
+  EXPECT_EQ(simd::DispatchArm(), native);
+
+  // Any other non-empty value forces scalar.
+  env.Set("yes");
+  EXPECT_EQ(simd::DispatchArm(), simd::Arm::kScalar);
+}
+
+TEST(SimdDispatchTest, ArmNames) {
+  EXPECT_STREQ(simd::ArmName(simd::Arm::kScalar), "scalar");
+  EXPECT_STREQ(simd::ArmName(simd::Arm::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, StatsMaskEncodesKindAndArm) {
+  const Polygon convex = Polygon::RegularNGon({0.5, 0.5}, 0.3, 12);
+  const PreparedArea prep(convex);
+  PolygonKernel kernel;
+
+  kernel.Prepare(prep, simd::Arm::kScalar);
+  EXPECT_EQ(kernel.kind(), PolygonKernel::Kind::kGridResidual);
+  EXPECT_EQ(kernel.stats_mask(), PolygonKernel::kStatsGridResidual);
+
+  if (simd::Avx2Available()) {
+    kernel.Prepare(prep, simd::Arm::kAvx2);
+    EXPECT_EQ(kernel.kind(), PolygonKernel::Kind::kConvexHalfPlane);
+    EXPECT_EQ(kernel.stats_mask(),
+              PolygonKernel::kStatsConvexHalfPlane | PolygonKernel::kStatsAvx2);
+
+    const Polygon dart({{0.1, 0.1}, {0.9, 0.5}, {0.1, 0.9}, {0.35, 0.5}});
+    const PreparedArea dprep(dart);
+    kernel.Prepare(dprep, simd::Arm::kAvx2);
+    EXPECT_EQ(kernel.kind(), PolygonKernel::Kind::kSmallMEdge);
+    EXPECT_EQ(kernel.stats_mask(),
+              PolygonKernel::kStatsSmallMEdge | PolygonKernel::kStatsAvx2);
+
+    const Polygon comb = GenerateCombPolygon(Box{{0.1, 0.1}, {0.9, 0.9}}, 12);
+    const PreparedArea cprep(comb);
+    kernel.Prepare(cprep, simd::Arm::kAvx2);
+    EXPECT_EQ(kernel.kind(), PolygonKernel::Kind::kGridResidual);
+    EXPECT_EQ(kernel.stats_mask(),
+              PolygonKernel::kStatsGridResidual | PolygonKernel::kStatsAvx2);
+  }
+}
+
+TEST(SimdDispatchTest, KernelKindMergesAcrossStats) {
+  QueryStats a;
+  a.kernel_kind =
+      PolygonKernel::kStatsConvexHalfPlane | PolygonKernel::kStatsAvx2;
+  QueryStats b;
+  b.kernel_kind = PolygonKernel::kStatsGridResidual;
+  a += b;
+  EXPECT_EQ(a.kernel_kind, PolygonKernel::kStatsConvexHalfPlane |
+                               PolygonKernel::kStatsGridResidual |
+                               PolygonKernel::kStatsAvx2);
+}
+
+TEST(SimdDispatchTest, PreparedKernelFollowsDispatchArm) {
+  ScopedForceScalarEnv env;
+  const Polygon convex = Polygon::RegularNGon({0.5, 0.5}, 0.3, 8);
+  QueryContext ctx;
+
+  env.Unset();
+  const PolygonKernel& k1 = ctx.PreparedKernel(convex, 1000);
+  EXPECT_EQ(k1.arm(), simd::DispatchArm());
+  EXPECT_TRUE(k1.prepared());
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(k1.kind(), PolygonKernel::Kind::kConvexHalfPlane);
+  } else {
+    EXPECT_EQ(k1.kind(), PolygonKernel::Kind::kGridResidual);
+  }
+
+  // Same polygon again: memoized, same kernel state.
+  const PolygonKernel& k2 = ctx.PreparedKernel(convex, 1000);
+  EXPECT_EQ(&k1, &k2);
+  EXPECT_EQ(k2.arm(), simd::DispatchArm());
+
+  // Flipping the dispatch arm re-prepares the memoized kernel even though
+  // the polygon (and its PreparedArea) did not change.
+  env.Set("1");
+  const PolygonKernel& k3 = ctx.PreparedKernel(convex, 1000);
+  EXPECT_EQ(k3.arm(), simd::Arm::kScalar);
+  EXPECT_EQ(k3.kind(), PolygonKernel::Kind::kGridResidual);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -79,6 +79,34 @@ def check_micro_flood(baseline, new, time_tol, counter_tol, failures):
     return compared
 
 
+def check_classify(baseline, new, time_tol, failures):
+    """BENCH_classify.json rows: batch classification kernels, keyed by
+    (polygon, arm, batch). The arm is part of the key, so avx2 rows simply
+    do not match on hosts whose run produced only scalar rows. Mismatches
+    (vector vs scalar verdicts) and kernel-kind selection are exact gates;
+    per-batch time gets the usual slowdown tolerance."""
+    base_by_key = {(r["polygon"], r["arm"], r["batch"]): r for r in baseline}
+    compared = 0
+    for row in new:
+        key = (row["polygon"], row["arm"], row["batch"])
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        compared += 1
+        where = f"classify[{row['polygon']}/{row['arm']}/{row['batch']}]"
+        if row.get("mismatches", 0) != 0:
+            failures.append(
+                f"{where}: {row['mismatches']} vector-vs-scalar verdict "
+                f"mismatch(es) — exactness contract broken")
+        if row.get("kernel_kind") != base.get("kernel_kind"):
+            failures.append(
+                f"{where}: kernel_kind {row.get('kernel_kind')} != baseline "
+                f"{base.get('kernel_kind')} — kernel selection changed")
+        check_time(f"{where}.time_ms", base["time_ms"], row["time_ms"],
+                   time_tol, failures)
+    return compared
+
+
 def check_ooc_scan(baseline, new, time_tol, counter_tol, failures):
     """BENCH_ooc.json rows: page-cache scan, keyed by cache geometry."""
     def key(r):
@@ -155,7 +183,9 @@ def main():
         new = json.load(f)
 
     failures = []
-    if baseline and baseline[0].get("bench") == "ooc_scan":
+    if baseline and baseline[0].get("bench") == "classify":
+        compared = check_classify(baseline, new, args.time_tol, failures)
+    elif baseline and baseline[0].get("bench") == "ooc_scan":
         compared = check_ooc_scan(baseline, new, args.time_tol,
                                   args.counter_tol, failures)
     elif baseline and "traditional" not in baseline[0]:

@@ -175,6 +175,52 @@ class RowMatchingTest(unittest.TestCase):
         self.assertIn("within tolerance", result.stdout)
 
 
+class ClassifyTest(unittest.TestCase):
+    def row(self, **overrides):
+        row = {
+            "bench": "classify", "polygon": "convex16", "arm": "avx2",
+            "kind": "convex_half_plane", "kernel_kind": 10, "batch": 4096,
+            "points": 1048576, "time_ms": 0.011, "mpoints_per_sec": 370.0,
+            "mismatches": 0,
+        }
+        row.update(overrides)
+        return row
+
+    run_gate = RowMatchingTest.run_gate
+
+    def test_identical_rows_pass(self):
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_any_mismatch_fails(self):
+        # A single diverging lane is an exactness-contract violation, not a
+        # tolerance question.
+        result = self.run_gate([self.row()], [self.row(mismatches=1)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("exactness", result.stdout)
+
+    def test_kernel_selection_change_fails(self):
+        # The convex polygon silently falling back to the generic grid path
+        # is a perf regression the time gate might miss on a fast host.
+        bad = self.row(kernel_kind=9, kind="grid_residual")
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("kernel selection changed", result.stdout)
+
+    def test_gross_slowdown_fails(self):
+        result = self.run_gate([self.row()], [self.row(time_ms=0.2)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("time_ms", result.stdout)
+
+    def test_missing_avx2_rows_are_skipped(self):
+        # A non-AVX2 host produces only scalar rows; the avx2 baseline rows
+        # must not fail the run, they just go uncompared.
+        scalar = self.row(arm="scalar", kind="grid_residual", kernel_kind=1)
+        result = self.run_gate([scalar, self.row()], [scalar])
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("1 row(s) within tolerance", result.stdout)
+
+
 class OocScanTest(unittest.TestCase):
     def row(self, **overrides):
         row = {
