@@ -1,0 +1,202 @@
+// Tail latency under storage faults: what per-query deadlines buy.
+//
+// The fault layer marks 1% of the page file's pages persistently slow
+// (spike_ms extra latency per cache miss — a degraded disk region), and
+// the bench runs the same random query stream closed-loop through a
+// QueryEngine twice: once without deadlines, where an unlucky query that
+// misses several slow pages accumulates every spike into its latency, and
+// once with a per-query deadline, where the cancellation poll at the next
+// block boundary converts the straggler into a fast typed abort
+// (`QueryAbortedError`). The comparison is the failure-domain story in
+// one table: deadlines cap the accumulated-stall tail at roughly one
+// spike + the deadline, at the price of an explicit abort rate —
+// unbounded waiting traded for typed, retryable failures.
+//
+// Usage: bench_fault_tail [--quick] [--json] [--check]
+//   --quick: fewer queries (CI smoke run).
+//   --json: write BENCH_fault_tail.json in the working directory.
+//   --check: exit nonzero unless the deadline run (a) aborted at least
+//   one query and (b) did not worsen the completed-stream p99 — the
+//   self-validating mode the CI fault leg runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cancel.h"
+#include "core/point_database.h"
+#include "core/traditional_area_query.h"
+#include "engine/query_engine.h"
+#include "fault/fault.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace {
+
+constexpr vaq::Box kUnit = vaq::Box{{0.0, 0.0}, {1.0, 1.0}};
+
+struct ArmResult {
+  double deadline_ms = 0.0;
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t io_retries = 0;
+};
+
+/// Runs the query stream closed-loop (one in flight: the measured
+/// latency is the client-observed wait, queueing excluded) and returns
+/// the latency distribution over *all* outcomes — an aborted query's
+/// wait ends at its abort, which is exactly the point of a deadline.
+ArmResult RunArm(vaq::QueryEngine& engine, int method,
+                 const std::vector<vaq::Polygon>& areas, double deadline_ms) {
+  ArmResult arm;
+  arm.deadline_ms = deadline_ms;
+  std::vector<double> latencies;
+  latencies.reserve(areas.size());
+  for (const vaq::Polygon& area : areas) {
+    vaq::SubmitOptions opts;
+    opts.deadline_ms = deadline_ms;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::future<vaq::QueryResult> f = engine.Submit(area, method, opts);
+    try {
+      const vaq::QueryResult r = f.get();
+      ++arm.completed;
+      arm.io_retries += r.stats.io_retries;
+    } catch (const vaq::QueryAbortedError&) {
+      ++arm.aborted;
+    }
+    latencies.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  arm.p50_ms = vaq::NearestRankPercentile(latencies, 0.50);
+  arm.p95_ms = vaq::NearestRankPercentile(latencies, 0.95);
+  arm.p99_ms = vaq::NearestRankPercentile(latencies, 0.99);
+  arm.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  return arm;
+}
+
+void PrintArm(const ArmResult& arm) {
+  std::cout << std::fixed << std::setprecision(3) << "  deadline=";
+  if (arm.deadline_ms > 0.0) {
+    std::cout << std::setw(6) << arm.deadline_ms << " ms";
+  } else {
+    std::cout << "  none   ";
+  }
+  std::cout << "  p50=" << std::setw(8) << arm.p50_ms
+            << "  p95=" << std::setw(8) << arm.p95_ms
+            << "  p99=" << std::setw(8) << arm.p99_ms
+            << "  max=" << std::setw(8) << arm.max_ms
+            << "  completed=" << arm.completed
+            << "  aborted=" << arm.aborted << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vaq;
+  bool quick = false;
+  bool json = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  // 100k points at 1 KiB pages = ~1500 pages; 1% slow at 10 ms/spike and
+  // ~10-60 pages per query gives most queries zero spikes, a visible
+  // single-spike p95-p99, and a multi-spike max — the tail shape
+  // deadlines exist for.
+  constexpr std::size_t kPoints = 100000;
+  constexpr double kSpikeMs = 10.0;
+  constexpr double kDeadlineMs = 5.0;
+  const std::size_t num_queries = quick ? 600 : 3000;
+
+  Rng rng(20260807);
+  PointDatabase::Options options;
+  options.storage.backend = StorageBackend::kMmap;
+  options.storage.page_size_bytes = 1024;
+  options.storage.cache_pages = 64;  // Far under ~1500 pages: real misses.
+  options.storage.fault = FaultSpec::Parse(
+      "seed=1,slow=0.01,spike_ms=" + std::to_string(kSpikeMs));
+  const PointDatabase db(GenerateUniformPoints(kPoints, kUnit, &rng),
+                         options);
+  const TraditionalAreaQuery query(&db);
+
+  std::vector<Polygon> areas;
+  areas.reserve(num_queries);
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    PolygonSpec spec;
+    spec.query_size_fraction = rng.Uniform(0.002, 0.03);
+    areas.push_back(GenerateQueryPolygon(spec, kUnit, &rng));
+  }
+
+  QueryEngine engine({.num_threads = 1});
+  const int method = engine.RegisterMethod(&query);
+
+  std::cout << "=== Fault tail: " << num_queries << " queries, 1% slow "
+            << "pages at +" << kSpikeMs << " ms/miss (closed loop) ===\n";
+  const ArmResult no_deadline = RunArm(engine, method, areas, 0.0);
+  PrintArm(no_deadline);
+  const ArmResult with_deadline =
+      RunArm(engine, method, areas, kDeadlineMs);
+  PrintArm(with_deadline);
+  std::cout << "(aborted queries' latencies are counted at their abort — "
+               "the deadline's cap on client wait.)\n";
+
+  if (json) {
+    std::ofstream out("BENCH_fault_tail.json");
+    out << "[\n";
+    const ArmResult* arms[] = {&no_deadline, &with_deadline};
+    for (int i = 0; i < 2; ++i) {
+      const ArmResult& a = *arms[i];
+      out << "  {\"bench\": \"fault_tail\", \"deadline_ms\": "
+          << a.deadline_ms << ", \"p50_ms\": " << a.p50_ms
+          << ", \"p95_ms\": " << a.p95_ms << ", \"p99_ms\": " << a.p99_ms
+          << ", \"max_ms\": " << a.max_ms << ", \"completed\": "
+          << a.completed << ", \"aborted\": " << a.aborted
+          << ", \"io_retries\": " << a.io_retries << "}"
+          << (i == 0 ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::cout << "wrote BENCH_fault_tail.json\n";
+  }
+
+  if (check) {
+    int violations = 0;
+    if (with_deadline.aborted == 0) {
+      std::cout << "CHECK FAIL: deadline run aborted no queries — the "
+                   "deadline never fired against injected slow pages\n";
+      ++violations;
+    }
+    if (no_deadline.aborted != 0) {
+      std::cout << "CHECK FAIL: deadline-free run aborted queries\n";
+      ++violations;
+    }
+    // The no-deadline max accumulates every spike an unlucky query hits;
+    // the deadline arm must cap the worst wait below it (one spike's
+    // overshoot past the deadline, vs several spikes back to back).
+    if (with_deadline.max_ms > no_deadline.max_ms) {
+      std::cout << "CHECK FAIL: deadline worsened the worst-case wait ("
+                << with_deadline.max_ms << " ms > " << no_deadline.max_ms
+                << " ms)\n";
+      ++violations;
+    }
+    if (violations > 0) return 1;
+    std::cout << "CHECK OK: deadlines fired (" << with_deadline.aborted
+              << " aborts) and capped the tail\n";
+  }
+  return 0;
+}

@@ -17,6 +17,10 @@
 //
 // Point files: binary (VAQP magic, see workload/dataset_io.h) by ".vaqp"
 // extension, otherwise CSV "x,y" lines. Polygon files: CSV ring.
+//
+// Exit status: 0 success; 1 bad input data; 2 usage error; 3 malformed
+// page file; 4 page read failure (IO fault / quarantined page); 5 query
+// aborted (deadline/cancellation). See DESIGN.md §12.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,10 +30,13 @@
 #include <vector>
 
 #include "core/brute_force_area_query.h"
+#include "core/cancel.h"
 #include "core/grid_sweep_area_query.h"
 #include "core/point_database.h"
 #include "core/traditional_area_query.h"
 #include "core/voronoi_area_query.h"
+#include "storage/page_format.h"
+#include "storage/page_store.h"
 #include "workload/dataset_io.h"
 
 namespace {
@@ -141,9 +148,28 @@ int main(int argc, char** argv) {
   // The database enforces pairwise distinctness (the Delaunay builder's
   // precondition); report the offending rows in the caller's frame — the
   // point order of the input file (comment/blank lines excluded).
+  // Failure-domain exit codes (DESIGN.md §12), distinct so scripts can
+  // branch: 3 = malformed page file, 4 = page read failure (IO fault /
+  // quarantined page — e.g. under a VAQ_FAULT_SPEC soak), 5 = query
+  // aborted by deadline or cancellation.
   std::unique_ptr<PointDatabase> db_holder;
   try {
     db_holder = std::make_unique<PointDatabase>(std::move(points), db_options);
+
+    const PointDatabase& db = *db_holder;
+    if (method == "voronoi" || method == "all") {
+      RunOne(db, VoronoiAreaQuery(&db), area, print_ids && method != "all");
+    }
+    if (method == "traditional" || method == "all") {
+      RunOne(db, TraditionalAreaQuery(&db), area,
+             print_ids && method != "all");
+    }
+    if (method == "grid-sweep" || method == "all") {
+      RunOne(db, GridSweepAreaQuery(&db), area, print_ids && method != "all");
+    }
+    if (method == "brute" || method == "all") {
+      RunOne(db, BruteForceAreaQuery(&db), area, print_ids && method != "all");
+    }
   } catch (const DuplicatePointError& e) {
     std::fprintf(stderr,
                  "error: %s: duplicate point (%.17g, %.17g) at input rows "
@@ -151,20 +177,15 @@ int main(int argc, char** argv) {
                  points_path.c_str(), e.point().x, e.point().y,
                  e.first_index(), e.second_index());
     return 1;
-  }
-  const PointDatabase& db = *db_holder;
-
-  if (method == "voronoi" || method == "all") {
-    RunOne(db, VoronoiAreaQuery(&db), area, print_ids && method != "all");
-  }
-  if (method == "traditional" || method == "all") {
-    RunOne(db, TraditionalAreaQuery(&db), area, print_ids && method != "all");
-  }
-  if (method == "grid-sweep" || method == "all") {
-    RunOne(db, GridSweepAreaQuery(&db), area, print_ids && method != "all");
-  }
-  if (method == "brute" || method == "all") {
-    RunOne(db, BruteForceAreaQuery(&db), area, print_ids && method != "all");
+  } catch (const PageFileError& e) {
+    std::fprintf(stderr, "error: malformed page file: %s\n", e.what());
+    return 3;
+  } catch (const PageReadError& e) {
+    std::fprintf(stderr, "error: page read failed: %s\n", e.what());
+    return 4;
+  } catch (const QueryAbortedError& e) {
+    std::fprintf(stderr, "error: query aborted: %s\n", e.what());
+    return 5;
   }
   if (method != "voronoi" && method != "traditional" &&
       method != "grid-sweep" && method != "brute" && method != "all") {

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "core/cancel.h"
 #include "core/point_database.h"
 #include "core/query_stats.h"
 #include "geometry/simd/polygon_kernel.h"
@@ -39,16 +40,25 @@ inline constexpr std::size_t kRefineBlock = 256;
 ///
 /// Records which kernel ran in `stats->kernel_kind` (a bitmask, OR-merged
 /// across blocks, legs and repetitions).
+///
+/// `cancel` is the query's cooperative cancellation token (null = none,
+/// one pointer test per block): it is polled once per `kRefineBlock`, so
+/// a cancelled or deadline-expired query aborts with `QueryAbortedError`
+/// after at most one block's worth of IO + classification — the O(block)
+/// abort bound of DESIGN.md §12. The block boundary is the *only* poll
+/// site on purpose: it is where the kernels already break their streams,
+/// so the happy path pays nothing inside the lanes.
 template <typename Fn>
 void ForEachRefinedBlock(const PointDatabase& db, const PolygonKernel& kernel,
-                         const PointId* ids, std::size_t n,
-                         QueryStats* stats, Fn&& per_block) {
+                         const PointId* ids, std::size_t n, QueryStats* stats,
+                         const CancelToken* cancel, Fn&& per_block) {
   if (n == 0) return;
   if (stats != nullptr) stats->kernel_kind |= kernel.stats_mask();
   double xs[kRefineBlock];
   double ys[kRefineBlock];
   bool inside[kRefineBlock];
   for (std::size_t base = 0; base < n; base += kRefineBlock) {
+    if (cancel != nullptr) cancel->Check();
     const std::size_t m = std::min(kRefineBlock, n - base);
     db.FetchPoints(ids + base, m, xs, ys, stats);
     kernel.ContainsBatch(xs, ys, m, inside);

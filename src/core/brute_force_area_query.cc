@@ -16,7 +16,12 @@ std::vector<PointId> BruteForceAreaQuery::Run(const Polygon& area,
   // otherwise fail every method identically and go unseen.
   std::vector<PointId> result;
   const std::size_t n = db_->size();
+  const CancelToken* cancel = ctx.cancel();
   for (PointId id = 0; id < n; ++id) {
+    // The oracle scan has no refine blocks, so it polls the cancel token
+    // itself at the same granularity the shared kernel does (O(block)
+    // abort bound; a pointer test per stride when no token is set).
+    if ((id & 255u) == 0 && cancel != nullptr) cancel->Check();
     const Point p = db_->FetchPoint(id, stats);
     if (area.Contains(p)) result.push_back(id);
   }

@@ -101,6 +101,7 @@ std::vector<PointId> GridSweepAreaQuery::Run(const Polygon& area,
             stats->candidates += bucket.size();
             ForEachRefinedBlock(
                 *db_, kernel, bucket.data(), bucket.size(), stats,
+                ctx.cancel(),
                 [&](const PointId* ids, std::size_t m, const double*,
                     const double*, const bool* inside) {
                   for (std::size_t j = 0; j < m; ++j) {

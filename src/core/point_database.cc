@@ -90,7 +90,16 @@ DuplicatePointError::DuplicatePointError(const Point& point,
       second_index_(second_index) {}
 
 void PointDatabase::SimulateFetchLatency(std::size_t n) const {
-  const double wait_ns = simulated_fetch_ns_ * static_cast<double>(n);
+  double wait_ns = simulated_fetch_ns_ * static_cast<double>(n);
+  if (fetch_injector_ != nullptr &&
+      fetch_injector_->FetchSpikes(
+          fetch_seq_.fetch_add(1, std::memory_order_relaxed))) {
+    // A spiked fetch pays spike_ms on top of its modelled wait. The
+    // sequence number depends on scheduling, which is fine here: spikes
+    // perturb latency only, never results, so replay determinism is not
+    // required of this site (unlike the page-keyed storage faults).
+    wait_ns += fetch_injector_->spec().spike_ms * 1e6;
+  }
   const auto wait = std::chrono::nanoseconds(static_cast<long>(wait_ns));
   if (latency_model_ == FetchLatencyModel::kSleep) {
     std::this_thread::sleep_for(wait);
@@ -135,6 +144,18 @@ PointDatabase::PointDatabase(std::vector<Point> points, Options options)
   // `RTree::BuildClustered`).
   rtree_.BuildClustered(points_);
   options_storage_ = options.storage;
+  // Programmatic spec wins; otherwise VAQ_FAULT_SPEC arms the fault
+  // layer, so every existing harness doubles as a fault soak with no code
+  // changes (the CI fault leg relies on this). The resolved spec flows
+  // into the page store below and drives the fetch-spike injector on
+  // every backend.
+  if (!options_storage_.fault.enabled) {
+    options_storage_.fault = FaultSpec::FromEnv();
+  }
+  if (options_storage_.fault.enabled &&
+      options_storage_.fault.fetch_spike_rate > 0.0) {
+    fetch_injector_ = std::make_unique<FaultInjector>(options_storage_.fault);
+  }
   if (options_storage_.backend != StorageBackend::kInMemory &&
       !points_.empty()) {
     InitPagedStorage();
@@ -165,6 +186,7 @@ void PointDatabase::InitPagedStorage() {
   store_options.required_page_size_bytes = options_storage_.page_size_bytes;
   store_options.use_uring =
       options_storage_.backend == StorageBackend::kMmapUring;
+  store_options.fault = options_storage_.fault;
   try {
     page_store_ = PageStore::Open(path, store_options);
   } catch (...) {

@@ -1,6 +1,7 @@
 #ifndef VAQ_CORE_POINT_DATABASE_H_
 #define VAQ_CORE_POINT_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -285,6 +286,13 @@ class PointDatabase {
   std::unique_ptr<PageStore> page_store_;
   double simulated_fetch_ns_ = 0.0;
   FetchLatencyModel latency_model_ = FetchLatencyModel::kBusyWait;
+  /// Fetch-spike injection (null unless the resolved fault spec enables
+  /// it): `SimulateFetchLatency` draws per fetch call against
+  /// `fetch_spike_rate`, adding `spike_ms` to spiked waits. Latency-only
+  /// — results never depend on it — so the schedule-dependent sequence
+  /// counter is acceptable where the page-keyed storage faults are not.
+  std::unique_ptr<FaultInjector> fetch_injector_;
+  mutable std::atomic<std::uint64_t> fetch_seq_{0};
 };
 
 }  // namespace vaq

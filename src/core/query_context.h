@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/query_stats.h"
 #include "geometry/prepared_area.h"
 #include "geometry/simd/polygon_kernel.h"
@@ -30,6 +31,22 @@ class QueryContext {
   /// Stats of the most recent query run with this context. Implementations
   /// reset it at the start of `Run` and fill it as they go.
   QueryStats stats;
+
+  // -- Cancellation --------------------------------------------------------
+
+  /// The cancellation/deadline token of the query currently executing on
+  /// this context, or null (the default — no cancellation configured,
+  /// zero cost). Set by the engine worker around each task (and by the
+  /// sharded gather around its inline legs), consulted at block
+  /// boundaries via `CheckCancelled`. Not owned.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel() const { return cancel_; }
+
+  /// Throws `QueryAbortedError` when the current query's token expired;
+  /// a single null check when no token is installed.
+  void CheckCancelled() const {
+    if (cancel_ != nullptr) cancel_->Check();
+  }
 
   // -- Epoch-marked visited set -------------------------------------------
   //
@@ -194,6 +211,7 @@ class QueryContext {
   }
 
  private:
+  const CancelToken* cancel_ = nullptr;
   std::vector<std::uint32_t> visited_;
   std::uint32_t epoch_ = 0;
   std::vector<PointId> queue_;

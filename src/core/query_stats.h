@@ -71,6 +71,25 @@ struct QueryStats {
   /// 0 when the query never invoked a batch kernel (pure bulk-accept or
   /// index-only paths).
   std::uint64_t kernel_kind = 0;
+  /// Failure-domain accounting (DESIGN.md §12). `io_retries` counts page
+  /// read attempts beyond the first — transient faults the storage layer
+  /// absorbed with retry/backoff; `pages_quarantined` counts pages the
+  /// store gave up on (two consecutive checksum failures) during this
+  /// query. Both are 0 on every happy path and whenever fault injection
+  /// is disabled.
+  std::uint64_t io_retries = 0;
+  std::uint64_t pages_quarantined = 0;
+  /// Scatter legs of a sharded query that exhausted their retry/timeout
+  /// policy. In strict mode a failed leg rethrows, so completed queries
+  /// always report 0; in partial mode the gather proceeds with
+  ///   `shards_hit + shards_pruned + shards_failed == K`
+  /// and `degraded` set — the caller's signal that the result set covers
+  /// only the surviving shards.
+  std::uint64_t shards_failed = 0;
+  /// Flag (0/1), OR-merged like `kernel_kind`: the result is partial
+  /// because at least one shard leg failed under the partial-result
+  /// policy. Never set on strict-mode or unsharded queries.
+  std::uint64_t degraded = 0;
   double elapsed_ms = 0.0;
 
   /// Candidates that failed refinement — the waste both methods try to
@@ -102,6 +121,10 @@ struct QueryStats {
     page_cache_hits += o.page_cache_hits;
     page_cache_misses += o.page_cache_misses;
     kernel_kind |= o.kernel_kind;  // Mask of kernels that ran, not a sum.
+    io_retries += o.io_retries;
+    pages_quarantined += o.pages_quarantined;
+    shards_failed += o.shards_failed;
+    degraded |= o.degraded;  // Flag: any degraded leg degrades the merge.
     elapsed_ms += o.elapsed_ms;
     return *this;
   }

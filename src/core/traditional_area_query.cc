@@ -59,6 +59,7 @@ std::vector<PointId> TraditionalAreaQuery::Run(const Polygon& area,
     result.reserve(candidates.size());
     ForEachRefinedBlock(
         *db_, kernel, candidates.data(), candidates.size(), stats,
+        ctx.cancel(),
         [&](const PointId* ids, std::size_t m, const double*, const double*,
             const bool* inside) {
           for (std::size_t j = 0; j < m; ++j) {

@@ -153,7 +153,8 @@ std::vector<PointId> VoronoiAreaQuery::Run(const Polygon& area,
     // Each generation streams through the shared batched refine kernel
     // (object IO + grid classification + exact boundary resolution per
     // 256-block); the per-block callback owns the graph side.
-    ForEachRefinedBlock(*db_, kernel, frontier.data(), frontier_len, stats, [&](
+    ForEachRefinedBlock(*db_, kernel, frontier.data(), frontier_len, stats,
+                        ctx.cancel(), [&](
         const PointId* block, std::size_t m, const double* bx,
         const double* by, const bool* inside) {
       // Resolve the block's CSR adjacency rows up front: one pass pulls

@@ -26,6 +26,13 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Outcome of a non-blocking `TryPush`.
+  enum class PushResult {
+    kPushed,
+    kFull,    // At capacity — the caller sheds or retries, never blocks.
+    kClosed,  // Queue closed — no further items will ever be accepted.
+  };
+
   /// Blocks until there is room, then enqueues. Returns false (dropping
   /// `item`) if the queue was closed.
   bool Push(T item) {
@@ -37,6 +44,20 @@ class BoundedQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Non-blocking enqueue: admission control for producers that must shed
+  /// load rather than stall when consumers fall behind. Distinguishes a
+  /// full queue (transient — back off and retry) from a closed one
+  /// (permanent); `item` is dropped in both failure cases.
+  PushResult TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kPushed;
   }
 
   /// Blocks until an item is available, then dequeues it. Returns nullopt

@@ -1,0 +1,44 @@
+#ifndef VAQ_ENGINE_ERRORS_H_
+#define VAQ_ENGINE_ERRORS_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace vaq {
+
+/// Thrown by `Submit`/`SubmitWith` after the engine has been stopped
+/// (explicit `Stop()` or destruction). Typed so callers racing shutdown
+/// can distinguish "engine gone" from a query failure and react —
+/// resubmit elsewhere, drop, or surface — instead of string-matching a
+/// generic runtime_error.
+class EngineStoppedError : public std::runtime_error {
+ public:
+  explicit EngineStoppedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by `Submit`/`SubmitWith` when admission control is active
+/// (`EngineOptions::shed_on_full`) and the work queue is at capacity:
+/// the engine sheds the query instead of blocking the producer. The
+/// canonical overload response is for the *client* to back off and
+/// retry; the engine never queues unboundedly and never stalls the
+/// submitting thread.
+class EngineOverloadedError : public std::runtime_error {
+ public:
+  explicit EngineOverloadedError(std::size_t capacity)
+      : std::runtime_error(
+            "QueryEngine: work queue full (capacity " +
+            std::to_string(capacity) +
+            "); query shed by admission control"),
+        capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_ENGINE_ERRORS_H_

@@ -26,7 +26,8 @@ double NearestRankPercentile(const std::vector<double>& sorted, double q) {
 }
 
 QueryEngine::QueryEngine(EngineOptions options)
-    : queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
+    : options_(options),
+      queue_(options.queue_capacity == 0 ? 1 : options.queue_capacity) {
   int n = options.num_threads;
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   if (n <= 0) n = 1;
@@ -44,7 +45,15 @@ QueryEngine::QueryEngine(EngineOptions options)
   }
 }
 
-QueryEngine::~QueryEngine() {
+QueryEngine::~QueryEngine() { Stop(); }
+
+void QueryEngine::Stop() {
+  // Serialise concurrent Stop()s; Close() is idempotent and a Submit
+  // racing the close either wins the queue's internal lock first (its
+  // task drains normally) or observes closed and throws the typed error.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
   queue_.Close();
   for (std::thread& t : workers_) t.join();
 }
@@ -55,7 +64,27 @@ int QueryEngine::RegisterMethod(const AreaQuery* query) {
   return static_cast<int>(methods_.size()) - 1;
 }
 
-std::future<QueryResult> QueryEngine::Submit(Polygon area, int method) {
+std::future<QueryResult> QueryEngine::Enqueue(Task task, const char* site) {
+  std::future<QueryResult> future = task.promise.get_future();
+  if (options_.shed_on_full) {
+    switch (queue_.TryPush(std::move(task))) {
+      case BoundedQueue<Task>::PushResult::kPushed:
+        return future;
+      case BoundedQueue<Task>::PushResult::kFull:
+        throw EngineOverloadedError(options_.queue_capacity);
+      case BoundedQueue<Task>::PushResult::kClosed:
+        break;
+    }
+    throw EngineStoppedError(std::string(site) + ": engine is shut down");
+  }
+  if (!queue_.Push(std::move(task))) {
+    throw EngineStoppedError(std::string(site) + ": engine is shut down");
+  }
+  return future;
+}
+
+std::future<QueryResult> QueryEngine::Submit(Polygon area, int method,
+                                             SubmitOptions opts) {
   const AreaQuery* query;
   {
     std::lock_guard<std::mutex> lock(methods_mu_);
@@ -69,25 +98,31 @@ std::future<QueryResult> QueryEngine::Submit(Polygon area, int method) {
   task.query = query;
   task.method = method;
   task.submitted = std::chrono::steady_clock::now();
-  std::future<QueryResult> future = task.promise.get_future();
-  if (!queue_.Push(std::move(task))) {
-    throw std::runtime_error("QueryEngine::Submit: engine is shut down");
+  task.cancel = std::move(opts.cancel);
+  if (opts.deadline_ms > 0.0) {
+    // The deadline clock starts at submission, so queue wait counts
+    // against it — an overloaded engine fails stale queued work fast
+    // instead of running it late.
+    if (task.cancel == nullptr) task.cancel = std::make_shared<CancelToken>();
+    task.cancel->SetDeadline(task.submitted +
+                             std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     opts.deadline_ms)));
   }
-  return future;
+  return Enqueue(std::move(task), "QueryEngine::Submit");
 }
 
-std::future<QueryResult> QueryEngine::SubmitWith(const AreaQuery* query,
-                                                 Polygon area) {
+std::future<QueryResult> QueryEngine::SubmitWith(
+    const AreaQuery* query, Polygon area,
+    std::shared_ptr<CancelToken> cancel) {
   Task task;
   task.area = std::move(area);
   task.query = query;
   task.method = -1;  // Ad-hoc: excluded from engine statistics.
   task.submitted = std::chrono::steady_clock::now();
-  std::future<QueryResult> future = task.promise.get_future();
-  if (!queue_.Push(std::move(task))) {
-    throw std::runtime_error("QueryEngine::SubmitWith: engine is shut down");
-  }
-  return future;
+  task.cancel = std::move(cancel);
+  return Enqueue(std::move(task), "QueryEngine::SubmitWith");
 }
 
 std::vector<QueryResult> QueryEngine::RunBatch(std::span<const Polygon> areas,
@@ -110,10 +145,17 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
   while (std::optional<Task> task = queue_.Pop()) {
     QueryResult result;
     try {
+      // A task whose deadline passed while queued fails fast here — the
+      // submission-relative deadline covers queue wait, and skipping the
+      // run entirely is what lets an overloaded engine shed stale work.
+      if (task->cancel != nullptr) task->cancel->Check();
+      state->ctx.set_cancel(task->cancel.get());
       result.ids = task->query->Run(task->area, state->ctx);
+      state->ctx.set_cancel(nullptr);
     } catch (...) {
       // A throwing query must not take down the pool (std::terminate) or
       // strand the caller on an unset future.
+      state->ctx.set_cancel(nullptr);
       task->promise.set_exception(std::current_exception());
       continue;
     }
@@ -163,6 +205,10 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       m.pages_touched += result.stats.pages_touched;
       m.page_cache_hits += result.stats.page_cache_hits;
       m.page_cache_misses += result.stats.page_cache_misses;
+      m.io_retries += result.stats.io_retries;
+      m.pages_quarantined += result.stats.pages_quarantined;
+      m.shards_failed += result.stats.shards_failed;
+      m.degraded_queries += result.stats.degraded;
       m.total_query_ms += result.stats.elapsed_ms;
     }
     task->promise.set_value(std::move(result));
@@ -197,6 +243,10 @@ EngineStats QueryEngine::Stats() const {
       agg.pages_touched += m.pages_touched;
       agg.page_cache_hits += m.page_cache_hits;
       agg.page_cache_misses += m.page_cache_misses;
+      agg.io_retries += m.io_retries;
+      agg.pages_quarantined += m.pages_quarantined;
+      agg.shards_failed += m.shards_failed;
+      agg.degraded_queries += m.degraded_queries;
       agg.total_query_ms += m.total_query_ms;
     }
   }

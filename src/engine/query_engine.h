@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "core/area_query.h"
+#include "core/cancel.h"
 #include "core/query_context.h"
 #include "engine/bounded_queue.h"
+#include "engine/errors.h"
 #include "geometry/polygon.h"
 
 namespace vaq {
@@ -24,6 +26,24 @@ struct EngineOptions {
   /// Bound of the MPMC work queue; `Submit` blocks (backpressure) when the
   /// queue is full.
   std::size_t queue_capacity = 1024;
+  /// Admission control: when true, a `Submit` against a full queue throws
+  /// `EngineOverloadedError` instead of blocking — the engine sheds load
+  /// so a saturating client observes a typed overload signal rather than
+  /// unbounded latency. Off by default (blocking backpressure, the batch
+  /// benches' behaviour).
+  bool shed_on_full = false;
+};
+
+/// Per-submission controls (deadline / cancellation); default = none.
+struct SubmitOptions {
+  /// Abort the query once this many ms have elapsed *from submission*
+  /// (queue wait included — a queued query past its deadline fails fast
+  /// without running). 0 = no deadline.
+  double deadline_ms = 0.0;
+  /// External cancellation handle: the caller keeps a reference and may
+  /// `Cancel()` it anytime; the query observes it at its next block
+  /// boundary. Created internally when only a deadline is requested.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Outcome of one engine-executed query.
@@ -58,6 +78,15 @@ struct MethodEngineStats {
   std::uint64_t pages_touched = 0;
   std::uint64_t page_cache_hits = 0;
   std::uint64_t page_cache_misses = 0;
+  /// Failure-domain counters (DESIGN.md §12): storage read retries,
+  /// pages written off after repeated checksum failures, and scatter legs
+  /// that failed in a degraded partial-result query. All 0 unless fault
+  /// injection is active or hardware genuinely misbehaves.
+  std::uint64_t io_retries = 0;
+  std::uint64_t pages_quarantined = 0;
+  std::uint64_t shards_failed = 0;
+  /// Queries that completed degraded (partial results after leg failure).
+  std::uint64_t degraded_queries = 0;
   double total_query_ms = 0.0;  // Sum of per-query execution times.
 };
 
@@ -115,8 +144,15 @@ class QueryEngine {
   int RegisterMethod(const AreaQuery* query);
 
   /// Enqueues one query; the future resolves with its result and stats.
-  /// Blocks while the work queue is full.
-  std::future<QueryResult> Submit(Polygon area, int method = 0);
+  /// Blocks while the work queue is full (unless
+  /// `EngineOptions::shed_on_full`, which throws `EngineOverloadedError`
+  /// instead). Throws `EngineStoppedError` after `Stop()`. With a
+  /// deadline or cancel token in `opts`, the query aborts cooperatively
+  /// — a queued task past its deadline fails fast without running, a
+  /// running one observes the token at its next block boundary — and the
+  /// future delivers `QueryAbortedError`.
+  std::future<QueryResult> Submit(Polygon area, int method = 0,
+                                  SubmitOptions opts = {});
 
   /// Enqueues one query against an ad-hoc query object that was never
   /// registered — the scatter path of `ShardedAreaQuery`, whose per-shard
@@ -126,7 +162,18 @@ class QueryEngine {
   /// are internal fan-out legs of one client query: they are excluded
   /// from `Stats()` (completed counts, latency percentiles, per-method
   /// counters), which keeps engine statistics in units of client queries.
-  std::future<QueryResult> SubmitWith(const AreaQuery* query, Polygon area);
+  /// `cancel` (may be null) is the leg's token — typically chained to the
+  /// parent query's token so cancelling the parent aborts every leg.
+  std::future<QueryResult> SubmitWith(const AreaQuery* query, Polygon area,
+                                      std::shared_ptr<CancelToken> cancel =
+                                          nullptr);
+
+  /// Stops the engine: closes the work queue (queued tasks still run to
+  /// completion; to abort them too, cancel their tokens first) and joins
+  /// the workers. Idempotent; racing `Submit`s either enqueue before the
+  /// close or throw `EngineStoppedError` — no submission is silently
+  /// dropped with a stranded future. The destructor calls it.
+  void Stop();
 
   /// Runs every polygon through `method` across the pool and returns the
   /// results in input order — identical to running them sequentially,
@@ -154,6 +201,9 @@ class QueryEngine {
     const AreaQuery* query;
     int method;  // Registered method id, or < 0 for an ad-hoc SubmitWith.
     std::chrono::steady_clock::time_point submitted;
+    /// Deadline/cancellation handle (null = none). Shared: the submitter
+    /// may hold it to cancel, the worker polls it during execution.
+    std::shared_ptr<CancelToken> cancel;
     std::promise<QueryResult> promise;
   };
 
@@ -174,6 +224,9 @@ class QueryEngine {
   };
 
   void WorkerLoop(WorkerState* state);
+  std::future<QueryResult> Enqueue(Task task, const char* site);
+
+  EngineOptions options_;
 
   std::mutex methods_mu_;
   std::vector<const AreaQuery*> methods_;
@@ -181,6 +234,9 @@ class QueryEngine {
   BoundedQueue<Task> queue_;
   std::vector<std::unique_ptr<WorkerState>> states_;
   std::vector<std::thread> workers_;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
 
   mutable std::mutex window_mu_;
   std::chrono::steady_clock::time_point window_start_;

@@ -66,9 +66,51 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   }
 
   // Scatter + gather. Per-leg stats merge by summation — `QueryStats`
-  // counters are all additive, so the epilogue invariant survives.
+  // counters are all additive, so the epilogue invariant survives. A
+  // failed leg contributes neither ids nor stats (an aborted query's
+  // output is undefined, all-or-nothing per leg).
   QueryStats merged;
   std::vector<PointId> result;
+
+  // A leg's cancel token: fresh per attempt (each gets a full timeout
+  // budget), chained under the parent query's token so cancelling the
+  // parent aborts every leg. Null when neither is configured — the legs
+  // then skip token polling entirely.
+  const CancelToken* parent = ctx.cancel();
+  const auto MakeLegToken = [&]() -> std::shared_ptr<CancelToken> {
+    if (policy_.leg_timeout_ms <= 0.0 && parent == nullptr) return nullptr;
+    auto token = std::make_shared<CancelToken>();
+    if (policy_.leg_timeout_ms > 0.0) {
+      token->SetDeadlineAfterMs(policy_.leg_timeout_ms);
+    }
+    token->set_parent(parent);
+    return token;
+  };
+  // One inline leg attempt on the caller's context (the sequential path
+  // and every retry). Returns null on success, the error otherwise.
+  const auto TryLegInline =
+      [&](const ShardLegQuery& leg) -> std::exception_ptr {
+    const std::shared_ptr<CancelToken> token = MakeLegToken();
+    if (token != nullptr) ctx.set_cancel(token.get());
+    std::exception_ptr error;
+    try {
+      std::vector<PointId> ids = leg.Run(area, ctx);
+      merged += ctx.stats;
+      result.insert(result.end(), ids.begin(), ids.end());
+    } catch (...) {
+      error = std::current_exception();
+    }
+    if (token != nullptr) ctx.set_cancel(parent);
+    return error;
+  };
+
+  std::vector<ShardLegQuery> legs;
+  legs.reserve(survivors.size());
+  for (const ShardedDatabase::ShardView* view : survivors) {
+    legs.emplace_back(view, method_);
+  }
+  std::vector<std::exception_ptr> leg_errors(legs.size());
+
   // Self-submission guard: if this query is itself executing on a worker
   // of its scatter engine (it was registered with the same pool — the
   // documented deadlock configuration), scattering would block this
@@ -77,51 +119,75 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   const bool scatter = scatter_engine_ != nullptr && survivors.size() > 1 &&
                        !scatter_engine_->OnWorkerThread();
   if (scatter) {
-    std::vector<ShardLegQuery> legs;
-    legs.reserve(survivors.size());
-    for (const ShardedDatabase::ShardView* view : survivors) {
-      legs.emplace_back(view, method_);
-    }
     // Every submitted leg must be drained before this frame can unwind:
-    // the pool executes legs through pointers into `legs` and the pinned
+    // the pool executes legs through pointers into `legs`, the per-leg
+    // tokens (parented to a token on this frame) and the pinned
     // snapshot, so propagating an exception with futures outstanding
-    // would turn the remaining queued legs into use-after-frees. Collect
-    // the first error, finish the gather, then rethrow.
+    // would turn the remaining queued legs into use-after-frees. Record
+    // per-leg outcomes, finish the gather, then decide.
     std::vector<std::future<QueryResult>> futures;
     futures.reserve(legs.size());
-    std::exception_ptr first_error;
-    for (const ShardLegQuery& leg : legs) {
+    for (std::size_t i = 0; i < legs.size(); ++i) {
       try {
-        futures.push_back(scatter_engine_->SubmitWith(&leg, area));
+        futures.push_back(
+            scatter_engine_->SubmitWith(&legs[i], area, MakeLegToken()));
       } catch (...) {
-        first_error = std::current_exception();
-        break;  // Submit no further legs; drain the ones in flight.
+        // Submit no further legs (the engine is stopping or shedding);
+        // the unsubmitted tail is marked failed and the in-flight legs
+        // are drained below.
+        for (std::size_t j = i; j < legs.size(); ++j) {
+          leg_errors[j] = std::current_exception();
+        }
+        break;
       }
     }
-    for (std::future<QueryResult>& f : futures) {
+    for (std::size_t i = 0; i < futures.size(); ++i) {
       try {
-        QueryResult r = f.get();
+        QueryResult r = futures[i].get();
         merged += r.stats;
         result.insert(result.end(), r.ids.begin(), r.ids.end());
       } catch (...) {
-        if (first_error == nullptr) first_error = std::current_exception();
+        leg_errors[i] = std::current_exception();
       }
     }
-    if (first_error != nullptr) std::rethrow_exception(first_error);
   } else {
-    for (const ShardedDatabase::ShardView* view : survivors) {
-      const ShardLegQuery leg(view, method_);
-      std::vector<PointId> ids = leg.Run(area, ctx);
-      merged += ctx.stats;
-      result.insert(result.end(), ids.begin(), ids.end());
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      leg_errors[i] = TryLegInline(legs[i]);
     }
+  }
+
+  // The parent expiring is not a shard failure: it aborts the whole
+  // query in either mode (retrying or returning partial results against
+  // a cancelled deadline would be answering a question nobody is still
+  // asking). Checked only after every leg is drained.
+  ctx.CheckCancelled();
+
+  // Failed legs get their retry budget inline, each attempt under a
+  // fresh timeout.
+  std::uint64_t failed = 0;
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    for (int attempt = 0;
+         leg_errors[i] != nullptr && attempt < policy_.max_leg_retries;
+         ++attempt) {
+      leg_errors[i] = TryLegInline(legs[i]);
+    }
+    if (leg_errors[i] != nullptr) {
+      ++failed;
+      if (first_error == nullptr) first_error = leg_errors[i];
+    }
+  }
+  if (failed > 0 && !policy_.allow_partial) {
+    std::rethrow_exception(first_error);
   }
 
   // Per-shard results are disjoint global-id sets; one sort restores the
   // ascending contract over the merged list.
   ctx.SortIds(result, snap->stable_limit());
-  merged.shards_hit = survivors.size();
+  merged.shards_hit = survivors.size() - failed;
   merged.shards_pruned = pruned;
+  merged.shards_failed = failed;
+  merged.degraded = failed > 0 ? 1 : 0;
   merged.results = result.size();
   merged.elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - t0)

@@ -8,6 +8,32 @@
 
 namespace vaq {
 
+/// Failure policy of one sharded scatter-gather (DESIGN.md §12).
+///
+/// Defaults preserve the strict contract: no per-leg deadline, no
+/// retries, and any leg failure fails the whole query (the gather still
+/// drains every in-flight leg first — never a silent partial answer).
+struct ShardPolicy {
+  /// Per-leg deadline in ms, measured from that leg's dispatch (scatter
+  /// submit or inline start); each retry attempt gets a fresh budget.
+  /// 0 = none. Legs also inherit the parent query's token: cancelling
+  /// the parent aborts every leg at its next block boundary.
+  double leg_timeout_ms = 0.0;
+  /// Extra attempts for a failed leg, run inline on the gathering thread
+  /// after every first-round leg has been drained (retrying while other
+  /// legs are still in flight would just contend with them).
+  int max_leg_retries = 0;
+  /// Degraded partial-result mode: when legs still fail after retries,
+  /// return the surviving shards' results instead of throwing, with
+  /// `QueryStats::shards_failed` counting the losses and
+  /// `QueryStats::degraded` set — the caller explicitly opted into an
+  /// answer that may be a subset of the truth, and the flags make that
+  /// visible end to end (engine aggregation, experiment JSON). A parent
+  /// cancellation/deadline is *not* a shard failure: it aborts the whole
+  /// query with `QueryAbortedError` in either mode.
+  bool allow_partial = false;
+};
+
 /// Scatter-gather area query over a `ShardedDatabase`:
 ///
 ///  1. **Pin** one cross-shard snapshot, so every sub-query answers the
@@ -47,9 +73,17 @@ class ShardedAreaQuery : public AreaQuery {
   /// `db` (and `scatter_engine`, if given) must outlive this object.
   /// A null `scatter_engine` runs surviving shards sequentially inline —
   /// same results and merged counters, no intra-query parallelism.
+  /// `policy` sets the per-leg timeout/retry budget and the partial-result
+  /// mode; the default is strict (see `ShardPolicy`).
   ShardedAreaQuery(const ShardedDatabase* db, DynamicMethod method,
-                   QueryEngine* scatter_engine = nullptr)
-      : db_(db), method_(method), scatter_engine_(scatter_engine) {}
+                   QueryEngine* scatter_engine = nullptr,
+                   ShardPolicy policy = {})
+      : db_(db),
+        method_(method),
+        scatter_engine_(scatter_engine),
+        policy_(policy) {}
+
+  const ShardPolicy& policy() const { return policy_; }
 
   using AreaQuery::Run;
   std::vector<PointId> Run(const Polygon& area,
@@ -73,6 +107,7 @@ class ShardedAreaQuery : public AreaQuery {
   const ShardedDatabase* db_;
   DynamicMethod method_;
   QueryEngine* scatter_engine_;
+  ShardPolicy policy_;
 };
 
 }  // namespace vaq

@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #if defined(VAQ_HAVE_IO_URING)
 #include <linux/io_uring.h>
@@ -252,6 +254,23 @@ PageStore::PageStore(const std::string& path, const Options& options,
     }
   }
 
+  if (options_.fault.enabled) {
+    injector_ = std::make_unique<FaultInjector>(options_.fault);
+    quarantined_.assign(header_.NumPages(), 0);
+    checksum_strikes_.assign(header_.NumPages(), 0);
+    if (options_.fault.corrupt_rate > 0.0) {
+      // Snapshot per-page reference checksums now (the mapping was just
+      // validated), so a frame corrupted between file and cache is
+      // caught before any coordinate leaves the store. Only when
+      // corruption faults are possible: the pass is one payload read.
+      page_checksums_.resize(header_.NumPages());
+      const std::size_t len = header_.page_size_bytes;
+      for (std::size_t p = 0; p < header_.NumPages(); ++p) {
+        page_checksums_[p] = Fnv1a64(payload_ + p * len, len);
+      }
+    }
+  }
+
   frames_count_ = std::max<std::size_t>(1, options_.cache_pages);
   frames_.resize(frames_count_ * header_.page_size_bytes);
   slot_of_page_.assign(header_.NumPages(), -1);
@@ -337,8 +356,81 @@ void PageStore::LoadPageLocked(std::uint32_t page, std::size_t slot) {
   }
 }
 
+void PageStore::LoadPageCheckedLocked(std::uint32_t page, std::size_t slot,
+                                      QueryStats* stats) {
+  if (injector_ == nullptr) {
+    LoadPageLocked(page, slot);
+    return;
+  }
+  char* frame = frames_.data() +
+                slot * static_cast<std::size_t>(header_.page_size_bytes);
+  const std::size_t len = header_.page_size_bytes;
+  const std::uint64_t off =
+      kPageFileHeaderBytes + static_cast<std::uint64_t>(page) * len;
+  const int max_attempts = 1 + std::max(0, options_.fault.max_read_retries);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.io_retries;
+      if (stats != nullptr) ++stats->io_retries;
+      const double backoff_ms = injector_->BackoffMs(attempt);
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    if (injector_->ReadFails(page, attempt)) continue;  // Transient fault.
+    try {
+      LoadPageLocked(page, slot);
+    } catch (const std::runtime_error&) {
+      // A real short read / device error is transient by policy too:
+      // under injection the file is intact, and on a genuinely flaky
+      // device a retry is exactly the right response.
+      continue;
+    }
+    if (injector_->CorruptsFrame(page, attempt)) frame[0] ^= 0xFF;
+    if (!page_checksums_.empty()) {
+      if (Fnv1a64(frame, len) != page_checksums_[page]) {
+        if (++checksum_strikes_[page] >= 2) {
+          quarantined_[page] = 1;
+          ++counters_.pages_quarantined;
+          if (stats != nullptr) ++stats->pages_quarantined;
+          std::ostringstream os;
+          os << "PageStore: page " << page << " quarantined after repeated "
+             << "checksum failures (offset " << off << ")";
+          throw PageReadError(PageReadError::Kind::kQuarantined, page, off,
+                              attempt + 1, os.str());
+        }
+        continue;  // First strike: corrupt delivery retried like a fault.
+      }
+      checksum_strikes_[page] = 0;  // Strikes count *consecutive* failures.
+    }
+    if (injector_->SlowPage(page)) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.fault.spike_ms));
+    }
+    return;
+  }
+  std::ostringstream os;
+  os << "PageStore: page " << page << " read failed after " << max_attempts
+     << " attempts (offset " << off << ")";
+  throw PageReadError(PageReadError::Kind::kReadFailed, page, off,
+                      max_attempts, os.str());
+}
+
 const double* PageStore::FrameForPageLocked(std::uint32_t page,
                                             QueryStats* stats) {
+  if (injector_ != nullptr && quarantined_[page] != 0) {
+    // Quarantined pages fail fast without touching the cache or its
+    // counters — the bytes already failed verification twice and a fresh
+    // read would deliver the same lie.
+    std::ostringstream os;
+    os << "PageStore: page " << page << " is quarantined";
+    throw PageReadError(
+        PageReadError::Kind::kQuarantined, page,
+        kPageFileHeaderBytes +
+            static_cast<std::uint64_t>(page) * header_.page_size_bytes,
+        0, os.str());
+  }
   ++counters_.pages_touched;
   if (stats != nullptr) ++stats->pages_touched;
   const std::int64_t cached = slot_of_page_[page];
@@ -352,7 +444,15 @@ const double* PageStore::FrameForPageLocked(std::uint32_t page,
     ++counters_.cache_misses;
     if (stats != nullptr) ++stats->page_cache_misses;
     slot = AcquireSlotLocked();
-    LoadPageLocked(page, slot);
+    try {
+      LoadPageCheckedLocked(page, slot, stats);
+    } catch (...) {
+      // Return the slot before unwinding: it is in neither the free list
+      // nor the LRU chain here, so losing it would shrink the cache by
+      // one frame per failed load for the life of the store.
+      free_slots_.push_back(slot);
+      throw;
+    }
     slot_of_page_[page] = static_cast<std::int64_t>(slot);
     page_of_slot_[slot] = page;
     PushFrontLocked(slot);
@@ -436,7 +536,13 @@ void PageStore::Prefetch(const PointId* ids, std::size_t n) {
       PushFrontLocked(slot);
     }
     if (!reqs.empty()) {
-      if (uring_->ReadBatch(fd_, reqs.data(), reqs.size())) {
+      // A torn prefetch treats the whole batch as failed mid-flight even
+      // when the ring would have succeeded, forcing the rollback path
+      // below; the gather then re-reads those pages as ordinary misses,
+      // so results never change — only the fallback gets exercised.
+      const bool torn = injector_ != nullptr &&
+                        injector_->TornPrefetch(prefetch_batches_++);
+      if (!torn && uring_->ReadBatch(fd_, reqs.data(), reqs.size())) {
         counters_.prefetch_reads += reqs.size();
         return;
       }
@@ -492,6 +598,11 @@ void PageStore::Unpin(std::uint32_t page) {
 bool PageStore::Cached(std::uint32_t page) const {
   std::lock_guard<std::mutex> lock(mu_);
   return slot_of_page_[page] >= 0;
+}
+
+bool PageStore::Quarantined(std::uint32_t page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !quarantined_.empty() && quarantined_[page] != 0;
 }
 
 PageIoCounters PageStore::counters() const {

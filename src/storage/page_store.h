@@ -9,11 +9,47 @@
 #include <vector>
 
 #include "core/query_stats.h"
+#include "fault/fault.h"
 #include "geometry/point.h"
 #include "index/spatial_index.h"
 #include "storage/page_format.h"
 
 namespace vaq {
+
+/// Thrown when one *page* of an already-opened store cannot be read —
+/// the runtime counterpart of the open-time `PageFileError` taxonomy.
+/// Open-time errors are permanent (a malformed file never becomes valid;
+/// they are never retried); a `PageReadError` is raised only after the
+/// store's retry policy is exhausted (`kReadFailed`) or the page was
+/// quarantined for repeated checksum failures (`kQuarantined`). Carries
+/// the page id and its byte offset in the file so an operator can map
+/// the failure to a disk region, plus the number of read attempts spent.
+class PageReadError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kReadFailed,   // transient read faults exhausted the retry budget
+    kQuarantined,  // page failed its checksum twice; no further reads
+  };
+
+  PageReadError(Kind kind, std::uint32_t page, std::uint64_t offset,
+                int attempts, const std::string& what)
+      : std::runtime_error(what),
+        kind_(kind),
+        page_(page),
+        offset_(offset),
+        attempts_(attempts) {}
+
+  Kind kind() const { return kind_; }
+  std::uint32_t page() const { return page_; }
+  std::uint64_t offset() const { return offset_; }
+  int attempts() const { return attempts_; }
+
+ private:
+  Kind kind_;
+  std::uint32_t page_;
+  std::uint64_t offset_;
+  int attempts_;
+};
 
 /// How a page-cache miss brings the page in.
 enum class PageMissMode {
@@ -66,6 +102,12 @@ struct StorageOptions {
   /// `std::filesystem::temp_directory_path()`. Spill files are unlinked
   /// as soon as they are mapped, so they vanish on close or crash.
   std::string spill_dir;
+  /// Deterministic fault injection applied to the page store (and the
+  /// database's simulated fetch latency). Disabled by default; when left
+  /// disabled, `PointDatabase` falls back to `FaultSpec::FromEnv()`
+  /// (`VAQ_FAULT_SPEC`) so the existing harnesses can soak the error
+  /// paths without code changes. See `src/fault/fault.h`.
+  FaultSpec fault;
 };
 
 /// Lifetime IO totals of one `PageStore` (all accesses, all queries) —
@@ -76,6 +118,12 @@ struct PageIoCounters {
   std::uint64_t cache_misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t prefetch_reads = 0;  // Pages loaded by uring prefetch.
+  /// Read attempts beyond the first (transient faults absorbed by the
+  /// retry policy) and pages written off after repeated checksum
+  /// failures. Both 0 unless fault injection is active or the device
+  /// genuinely misbehaves.
+  std::uint64_t io_retries = 0;
+  std::uint64_t pages_quarantined = 0;
 };
 
 /// An mmap-backed page file behind an explicit LRU page cache.
@@ -112,6 +160,16 @@ class PageStore {
     /// Attempt to build an io_uring for batched prefetch reads; silently
     /// degrades to madvise-only prefetch when unavailable.
     bool use_uring = false;
+    /// Fault injection for this store (disabled by default). When
+    /// enabled, read attempts consult the injector (simulated transient
+    /// errors, frame corruption, slow pages, torn prefetches) and the
+    /// retry/backoff/quarantine policy of the spec governs recovery.
+    /// When `corrupt` faults are possible, per-page checksums are
+    /// computed once at open so a corrupted frame is detected before any
+    /// coordinate leaves the store. Every hook is gated on the injector
+    /// pointer, so a disabled spec adds one null test per miss — nothing
+    /// on hits.
+    FaultSpec fault;
   };
 
   /// Opens, validates (header always; payload checksum unless disabled)
@@ -160,6 +218,10 @@ class PageStore {
   /// Whether `page` currently occupies a cache frame (tests, benches).
   bool Cached(std::uint32_t page) const;
 
+  /// Whether `page` has been quarantined (always false without fault
+  /// injection; tests).
+  bool Quarantined(std::uint32_t page) const;
+
   PageIoCounters counters() const;
   void ResetCounters();
 
@@ -178,6 +240,14 @@ class PageStore {
   const double* FrameForPageLocked(std::uint32_t page, QueryStats* stats);
   std::size_t AcquireSlotLocked();
   void LoadPageLocked(std::uint32_t page, std::size_t slot);
+  /// The miss path's load with the failure-domain policy wrapped around
+  /// it: consults the fault injector, verifies the per-page checksum when
+  /// armed, retries transient faults with capped exponential backoff
+  /// (charging `io_retries`), quarantines a page after two consecutive
+  /// checksum failures, and throws the typed `PageReadError` when the
+  /// budget is exhausted. Caller holds `mu_`.
+  void LoadPageCheckedLocked(std::uint32_t page, std::size_t slot,
+                             QueryStats* stats);
   void TouchLocked(std::size_t slot);
   void UnlinkLocked(std::size_t slot);
   void PushFrontLocked(std::size_t slot);
@@ -209,6 +279,22 @@ class PageStore {
   std::unique_ptr<Uring> uring_;
   /// Scratch for Prefetch's distinct-page set (guarded by mu_).
   std::vector<std::uint32_t> prefetch_pages_;
+
+  /// Fault layer (null when Options::fault is disabled — the happy-path
+  /// gate every hook tests). All state below it is allocated only when
+  /// the injector exists and is guarded by mu_.
+  std::unique_ptr<FaultInjector> injector_;
+  /// Per-page FNV-1a checksums snapshot at open (only when corruption
+  /// faults are possible) — the reference a loaded frame is verified
+  /// against.
+  std::vector<std::uint64_t> page_checksums_;
+  /// Consecutive checksum failures per page (reset on a clean verify);
+  /// reaching 2 quarantines the page.
+  std::vector<std::uint8_t> checksum_strikes_;
+  /// 1 = page quarantined: every future access throws `PageReadError`
+  /// immediately instead of handing out bytes that failed verification.
+  std::vector<std::uint8_t> quarantined_;
+  std::uint64_t prefetch_batches_ = 0;  // Torn-prefetch decision index.
 };
 
 }  // namespace vaq

@@ -35,7 +35,11 @@ void Accumulate(MethodAverages* avg, const QueryStats& stats) {
   avg->pages_touched += static_cast<double>(stats.pages_touched);
   avg->page_cache_hits += static_cast<double>(stats.page_cache_hits);
   avg->page_cache_misses += static_cast<double>(stats.page_cache_misses);
+  avg->io_retries += static_cast<double>(stats.io_retries);
+  avg->pages_quarantined += static_cast<double>(stats.pages_quarantined);
+  avg->shards_failed += static_cast<double>(stats.shards_failed);
   avg->kernel_kind |= stats.kernel_kind;  // Mask of kernels that ran.
+  avg->degraded |= stats.degraded;        // Flag: any repetition degraded.
 }
 
 void Finish(MethodAverages* avg, int reps) {
@@ -50,6 +54,9 @@ void Finish(MethodAverages* avg, int reps) {
   avg->pages_touched /= reps;
   avg->page_cache_hits /= reps;
   avg->page_cache_misses /= reps;
+  avg->io_retries /= reps;
+  avg->pages_quarantined /= reps;
+  avg->shards_failed /= reps;
   if (avg->batch_wall_ms > 0.0) {
     avg->throughput_qps = reps / (avg->batch_wall_ms / 1000.0);
   }
@@ -238,7 +245,11 @@ void WriteMethodJson(const MethodAverages& m, std::ostream& os) {
      << ", \"pages_touched\": " << m.pages_touched
      << ", \"page_cache_hits\": " << m.page_cache_hits
      << ", \"page_cache_misses\": " << m.page_cache_misses
+     << ", \"io_retries\": " << m.io_retries
+     << ", \"pages_quarantined\": " << m.pages_quarantined
+     << ", \"shards_failed\": " << m.shards_failed
      << ", \"kernel_kind\": " << m.kernel_kind
+     << ", \"degraded\": " << m.degraded
      << ", \"batch_wall_ms\": " << m.batch_wall_ms
      << ", \"throughput_qps\": " << m.throughput_qps << "}";
 }

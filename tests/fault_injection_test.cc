@@ -1,0 +1,816 @@
+// Failure-domain hardening (DESIGN.md §12): the deterministic fault
+// layer, the storage retry/backoff/quarantine policy, engine deadlines,
+// cancellation and shutdown semantics, and the sharded degraded
+// partial-result mode. The permanent-vs-transient error classification is
+// pinned here by exact `io_retries` counts: open-time `PageFileError`
+// kinds must never be retried, injected read faults must be retried
+// exactly as many times as the policy says.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_area_query.h"
+#include "core/cancel.h"
+#include "core/point_database.h"
+#include "engine/query_engine.h"
+#include "fault/fault.h"
+#include "shard/sharded_area_query.h"
+#include "shard/sharded_database.h"
+#include "storage/page_format.h"
+#include "storage/page_store.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+// ---------------------------------------------------------------------------
+// FaultSpec parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesFullSpec) {
+  const FaultSpec spec = FaultSpec::Parse(
+      "seed=42,read_error=0.01,corrupt=0.005,slow=0.02,spike_ms=5,"
+      "fetch_spike=0.1,torn=0.25,retries=7,backoff_ms=0.5,backoff_max_ms=8");
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.read_error_rate, 0.01);
+  EXPECT_DOUBLE_EQ(spec.corrupt_rate, 0.005);
+  EXPECT_DOUBLE_EQ(spec.slow_page_rate, 0.02);
+  EXPECT_DOUBLE_EQ(spec.spike_ms, 5.0);
+  EXPECT_DOUBLE_EQ(spec.fetch_spike_rate, 0.1);
+  EXPECT_DOUBLE_EQ(spec.torn_prefetch_rate, 0.25);
+  EXPECT_EQ(spec.max_read_retries, 7);
+  EXPECT_DOUBLE_EQ(spec.backoff_initial_ms, 0.5);
+  EXPECT_DOUBLE_EQ(spec.backoff_max_ms, 8.0);
+}
+
+TEST(FaultSpecTest, EmptyStringParsesDisabled) {
+  EXPECT_FALSE(FaultSpec::Parse("").enabled);
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  EXPECT_THROW(FaultSpec::Parse("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("read_error"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("read_error=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("read_error=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("read_error=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::Parse("retries=-1"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicAndSiteIndependent) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 7;
+  spec.read_error_rate = 0.5;
+  spec.corrupt_rate = 0.5;
+  const FaultInjector a(spec);
+  const FaultInjector b(spec);
+  int read_faults = 0;
+  int divergences = 0;
+  for (std::uint64_t page = 0; page < 512; ++page) {
+    // Same spec, same inputs => same answer, whoever asks.
+    ASSERT_EQ(a.ReadFails(page, 0), b.ReadFails(page, 0));
+    ASSERT_EQ(a.CorruptsFrame(page, 3), b.CorruptsFrame(page, 3));
+    read_faults += a.ReadFails(page, 0) ? 1 : 0;
+    // Independent per-site streams: read and corrupt decisions must not
+    // be the same bit for the same (page, attempt).
+    divergences += a.ReadFails(page, 0) != a.CorruptsFrame(page, 0) ? 1 : 0;
+  }
+  // rate=0.5 over 512 pages: a degenerate all-or-nothing stream would be
+  // a hash bug. Loose bounds — this is a sanity check, not a chi-square.
+  EXPECT_GT(read_faults, 512 / 4);
+  EXPECT_LT(read_faults, 512 * 3 / 4);
+  EXPECT_GT(divergences, 512 / 8);
+}
+
+TEST(FaultInjectorTest, RateEndpointsAreExact) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 9;
+  spec.read_error_rate = 0.0;
+  FaultInjector never(spec);
+  spec.read_error_rate = 1.0;
+  FaultInjector always(spec);
+  for (std::uint64_t page = 0; page < 256; ++page) {
+    ASSERT_FALSE(never.ReadFails(page, 0));
+    ASSERT_TRUE(always.ReadFails(page, 0));
+  }
+}
+
+TEST(FaultInjectorTest, BackoffDoublesAndCaps) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.backoff_initial_ms = 1.0;
+  spec.backoff_max_ms = 5.0;
+  const FaultInjector inj(spec);
+  EXPECT_DOUBLE_EQ(inj.BackoffMs(1), 1.0);
+  EXPECT_DOUBLE_EQ(inj.BackoffMs(2), 2.0);
+  EXPECT_DOUBLE_EQ(inj.BackoffMs(3), 4.0);
+  EXPECT_DOUBLE_EQ(inj.BackoffMs(4), 5.0);  // Capped.
+  EXPECT_DOUBLE_EQ(inj.BackoffMs(9), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// PageStore retry / quarantine under injected faults
+// ---------------------------------------------------------------------------
+
+class FaultedPageStoreTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kPageSize = 512;
+  static constexpr std::size_t kPpp = 32;
+  static constexpr std::size_t kPages = 64;
+
+  void SetUp() override {
+    const std::size_t count = kPages * kPpp;
+    std::vector<double> xs(count), ys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs[i] = static_cast<double>(i);
+      ys[i] = -static_cast<double>(i);
+    }
+    path_ = (std::filesystem::temp_directory_path() /
+             ("vaq_fault_store_test_" + std::to_string(::getpid()) + ".vpag"))
+                .string();
+    WritePageFile(path_, xs.data(), ys.data(), count, kPageSize);
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::unique_ptr<PageStore> OpenFaulted(const FaultSpec& fault,
+                                         std::size_t cache_pages = 8) {
+    PageStore::Options options;
+    options.cache_pages = cache_pages;
+    options.fault = fault;
+    return PageStore::Open(path_, options);
+  }
+
+  static PointId IdOnPage(std::size_t page) {
+    return static_cast<PointId>(page * kPpp);
+  }
+
+  std::string path_;
+};
+
+TEST_F(FaultedPageStoreTest, TransientReadFaultRetriedWithExactCount) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 17;
+  spec.read_error_rate = 0.5;
+  spec.max_read_retries = 3;
+  const FaultInjector inj(spec);
+  // The injector is a pure hash, so the test can find a page whose first
+  // attempt faults and whose second succeeds — and then assert the store
+  // spent *exactly one* retry on it.
+  std::int64_t page = -1;
+  for (std::size_t p = 0; p < kPages; ++p) {
+    if (inj.ReadFails(p, 0) && !inj.ReadFails(p, 1)) {
+      page = static_cast<std::int64_t>(p);
+      break;
+    }
+  }
+  ASSERT_GE(page, 0) << "no page with fail-then-succeed pattern; seed bug?";
+
+  const auto store = OpenFaulted(spec);
+  QueryStats stats;
+  const Point pt = store->GetPoint(IdOnPage(page), &stats);
+  EXPECT_EQ(pt.x, static_cast<double>(IdOnPage(page)));
+  EXPECT_EQ(stats.io_retries, 1u);
+  EXPECT_EQ(stats.pages_quarantined, 0u);
+  EXPECT_EQ(store->counters().io_retries, 1u);
+
+  // A clean page (no fault on attempt 0) must cost zero retries.
+  std::int64_t clean = -1;
+  for (std::size_t p = 0; p < kPages; ++p) {
+    if (!inj.ReadFails(p, 0)) {
+      clean = static_cast<std::int64_t>(p);
+      break;
+    }
+  }
+  ASSERT_GE(clean, 0);
+  QueryStats clean_stats;
+  store->GetPoint(IdOnPage(clean), &clean_stats);
+  EXPECT_EQ(clean_stats.io_retries, 0u);
+}
+
+TEST_F(FaultedPageStoreTest, ExhaustedRetriesThrowTypedReadError) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 1;
+  spec.read_error_rate = 1.0;  // Every attempt of every page faults.
+  spec.max_read_retries = 2;
+  const auto store = OpenFaulted(spec);
+  QueryStats stats;
+  try {
+    store->GetPoint(IdOnPage(5), &stats);
+    FAIL() << "expected PageReadError";
+  } catch (const PageReadError& e) {
+    EXPECT_EQ(e.kind(), PageReadError::Kind::kReadFailed);
+    EXPECT_EQ(e.page(), 5u);
+    EXPECT_EQ(e.offset(),
+              kPageFileHeaderBytes + 5ull * kPageSize);
+    EXPECT_EQ(e.attempts(), 3);  // 1 initial + 2 retries, all faulted.
+  }
+  EXPECT_EQ(stats.io_retries, 2u);  // Exactly the retry budget.
+  // The store survives: a different spec-free access path still works —
+  // the failure never crashes the process or poisons the cache.
+  EXPECT_EQ(store->counters().pages_quarantined, 0u);
+}
+
+TEST_F(FaultedPageStoreTest, TwoConsecutiveChecksumFailuresQuarantine) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 3;
+  spec.corrupt_rate = 1.0;  // Every delivery corrupt: strike, strike, out.
+  spec.max_read_retries = 5;
+  const auto store = OpenFaulted(spec);
+  QueryStats stats;
+  try {
+    store->GetPoint(IdOnPage(2), &stats);
+    FAIL() << "expected PageReadError";
+  } catch (const PageReadError& e) {
+    EXPECT_EQ(e.kind(), PageReadError::Kind::kQuarantined);
+    EXPECT_EQ(e.page(), 2u);
+  }
+  EXPECT_EQ(stats.pages_quarantined, 1u);
+  EXPECT_EQ(stats.io_retries, 1u);  // The second (striking-out) attempt.
+  EXPECT_TRUE(store->Quarantined(2));
+  EXPECT_FALSE(store->Quarantined(3));
+  EXPECT_EQ(store->counters().pages_quarantined, 1u);
+
+  // Every further access fails fast with the same typed error and no
+  // fresh read attempts or quarantine recounts.
+  QueryStats again;
+  EXPECT_THROW(store->GetPoint(IdOnPage(2), &again), PageReadError);
+  EXPECT_EQ(again.io_retries, 0u);
+  EXPECT_EQ(again.pages_quarantined, 0u);
+  EXPECT_EQ(store->counters().pages_quarantined, 1u);
+
+  // The quarantine is per page, not global: page 7 is still un-flagged
+  // until its own strikes accrue (under corrupt_rate=1 they immediately
+  // do, bumping the lifetime counter to 2).
+  QueryStats other;
+  EXPECT_THROW(store->GetPoint(IdOnPage(7), &other), PageReadError);
+  EXPECT_EQ(other.pages_quarantined, 1u);
+  EXPECT_TRUE(store->Quarantined(7));
+  EXPECT_EQ(store->counters().pages_quarantined, 2u);
+}
+
+TEST_F(FaultedPageStoreTest, SingleChecksumFailureRetriesAndRecovers) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 23;
+  spec.corrupt_rate = 0.5;
+  spec.max_read_retries = 3;
+  const FaultInjector inj(spec);
+  std::int64_t page = -1;
+  for (std::size_t p = 0; p < kPages; ++p) {
+    if (inj.CorruptsFrame(p, 0) && !inj.CorruptsFrame(p, 1)) {
+      page = static_cast<std::int64_t>(p);
+      break;
+    }
+  }
+  ASSERT_GE(page, 0);
+  const auto store = OpenFaulted(spec);
+  QueryStats stats;
+  const Point pt = store->GetPoint(IdOnPage(page), &stats);
+  // One corrupt delivery (first strike), one clean retry: exact
+  // coordinates, one retry charged, no quarantine — and the clean read
+  // reset the strike counter.
+  EXPECT_EQ(pt.x, static_cast<double>(IdOnPage(page)));
+  EXPECT_EQ(stats.io_retries, 1u);
+  EXPECT_EQ(stats.pages_quarantined, 0u);
+  EXPECT_FALSE(store->Quarantined(page));
+}
+
+TEST_F(FaultedPageStoreTest, FailedLoadDoesNotLeakCacheFrames) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 1;
+  spec.read_error_rate = 1.0;
+  spec.max_read_retries = 0;
+  // Cache of 2 frames, hammered with failing loads: if a failed load
+  // leaked its frame, the third failure would exhaust the cache and turn
+  // the typed read error into "every frame is pinned".
+  const auto store = OpenFaulted(spec, /*cache_pages=*/2);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(store->GetPoint(IdOnPage(round % kPages), nullptr),
+                 PageReadError);
+  }
+}
+
+TEST_F(FaultedPageStoreTest, DisabledSpecIsByteIdenticalToNoFaultStore) {
+  // The null-injector path: a disabled spec must not change a single
+  // counter or coordinate relative to a store with no fault field set.
+  PageStore::Options plain_options;
+  plain_options.cache_pages = 4;
+  const auto plain = PageStore::Open(path_, plain_options);
+  const auto faulted = OpenFaulted(FaultSpec{}, 4);
+  QueryStats a, b;
+  for (std::size_t p = 0; p < kPages; ++p) {
+    const Point pa = plain->GetPoint(IdOnPage(p), &a);
+    const Point pb = faulted->GetPoint(IdOnPage(p), &b);
+    ASSERT_EQ(pa.x, pb.x);
+    ASSERT_EQ(pa.y, pb.y);
+  }
+  EXPECT_EQ(a.pages_touched, b.pages_touched);
+  EXPECT_EQ(a.page_cache_misses, b.page_cache_misses);
+  EXPECT_EQ(b.io_retries, 0u);
+  EXPECT_EQ(b.pages_quarantined, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Permanent vs transient classification: every open-time PageFileError
+// kind is permanent — the store never opens, so no retry can ever be
+// spent on it (io_retries is structurally 0). Transient faults above are
+// the only retried class, pinned by their exact counts.
+// ---------------------------------------------------------------------------
+
+class ErrorClassificationTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("vaq_fault_class_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    paths_.push_back((dir / name).string());
+    return paths_.back();
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::filesystem::remove(p);
+  }
+
+  std::string WriteValid(std::size_t count = 100) {
+    std::vector<double> xs(count), ys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      xs[i] = static_cast<double>(i);
+      ys[i] = static_cast<double>(i) + 0.5;
+    }
+    const std::string path = TempPath("valid.vpag");
+    WritePageFile(path, xs.data(), ys.data(), count, 512);
+    return path;
+  }
+
+  void Corrupt(const std::string& path,
+               const std::function<void(std::vector<char>&)>& mutate) {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    mutate(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Opens with an aggressive retry budget armed; a permanent error must
+  /// throw the typed PageFileError without consuming any of it.
+  PageFileError::Kind OpenPermanentKind(const std::string& path) {
+    PageStore::Options options;
+    options.fault.enabled = true;
+    options.fault.max_read_retries = 5;
+    options.fault.backoff_initial_ms = 0.0;
+    try {
+      PageStore::Open(path, options);
+    } catch (const PageFileError& e) {
+      return e.kind();
+    }
+    ADD_FAILURE() << "expected PageFileError for " << path;
+    return PageFileError::Kind::kIo;
+  }
+
+ private:
+  std::vector<std::string> paths_;
+};
+
+TEST_F(ErrorClassificationTest, OpenTimeErrorsArePermanentNeverRetried) {
+  {
+    const std::string path = WriteValid();
+    Corrupt(path, [](std::vector<char>& b) { b[0] ^= 0xFF; });
+    EXPECT_EQ(OpenPermanentKind(path), PageFileError::Kind::kBadMagic);
+  }
+  {
+    const std::string path = WriteValid();
+    Corrupt(path, [](std::vector<char>& b) { b.resize(b.size() - 7); });
+    EXPECT_EQ(OpenPermanentKind(path), PageFileError::Kind::kTruncated);
+  }
+  {
+    const std::string path = WriteValid();
+    // Flip a payload byte: open-time whole-payload checksum mismatch.
+    Corrupt(path, [](std::vector<char>& b) { b[kPageFileHeaderBytes] ^= 1; });
+    EXPECT_EQ(OpenPermanentKind(path),
+              PageFileError::Kind::kChecksumMismatch);
+  }
+  {
+    // Nonexistent file: kIo, permanent.
+    EXPECT_EQ(OpenPermanentKind(TempPath("missing.vpag")),
+              PageFileError::Kind::kIo);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shutdown, admission control, deadlines, cancellation
+// ---------------------------------------------------------------------------
+
+/// A query that parks inside Run until released (or aborted via the
+/// context's cancel token) — the deterministic way to hold workers busy
+/// and queues full.
+class GateQuery final : public AreaQuery {
+ public:
+  std::vector<PointId> Run(const Polygon&,
+                           QueryContext& ctx) const override {
+    started_.fetch_add(1);
+    while (!release_.load()) {
+      ctx.CheckCancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return {};
+  }
+  std::string_view Name() const override { return "gate"; }
+
+  void WaitStarted(int n) const {
+    while (started_.load() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  int started() const { return started_.load(); }
+  void Release() const { release_.store(true); }
+
+ private:
+  mutable std::atomic<int> started_{0};
+  mutable std::atomic<bool> release_{false};
+};
+
+Polygon UnitTriangle() {
+  return Polygon({{0.0, 0.0}, {1.0, 0.0}, {0.5, 1.0}});
+}
+
+TEST(EngineShutdownTest, SubmitAfterStopThrowsTypedError) {
+  const GateQuery gate;
+  QueryEngine engine({.num_threads = 1, .queue_capacity = 4});
+  const int method = engine.RegisterMethod(&gate);
+  gate.Release();  // Nothing should ever block in this test.
+  engine.Stop();
+  engine.Stop();  // Idempotent.
+  EXPECT_THROW(engine.Submit(UnitTriangle(), method), EngineStoppedError);
+  EXPECT_THROW(engine.SubmitWith(&gate, UnitTriangle()),
+               EngineStoppedError);
+}
+
+TEST(EngineShutdownTest, QueuedWorkDrainsOnStop) {
+  // Close-then-drain: everything accepted before Stop() resolves.
+  Rng rng(99);
+  const PointDatabase db(GenerateUniformPoints(500, kUnit, &rng));
+  const BruteForceAreaQuery brute(&db);
+  QueryEngine engine({.num_threads = 2, .queue_capacity = 32});
+  const int method = engine.RegisterMethod(&brute);
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(engine.Submit(UnitTriangle(), method));
+  }
+  engine.Stop();
+  for (std::future<QueryResult>& f : futures) {
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+TEST(EngineShutdownTest, SubmitDuringShutdownRaceIsTypedOrServed) {
+  // The race regression (run under TSan in CI): threads hammering Submit
+  // while the engine stops. Every call must either return a future that
+  // resolves, or throw EngineStoppedError — never hang, never strand a
+  // future, never crash.
+  Rng rng(100);
+  const PointDatabase db(GenerateUniformPoints(200, kUnit, &rng));
+  const BruteForceAreaQuery brute(&db);
+  for (int round = 0; round < 8; ++round) {
+    QueryEngine engine({.num_threads = 2, .queue_capacity = 8});
+    const int method = engine.RegisterMethod(&brute);
+    std::atomic<bool> go{false};
+    std::atomic<int> served{0}, refused{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load()) std::this_thread::yield();
+        for (int i = 0; i < 32; ++i) {
+          try {
+            std::future<QueryResult> f =
+                engine.Submit(UnitTriangle(), method);
+            f.get();  // Accepted => must resolve even mid-shutdown.
+            served.fetch_add(1);
+          } catch (const EngineStoppedError&) {
+            refused.fetch_add(1);
+          }
+        }
+      });
+    }
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    engine.Stop();
+    for (std::thread& t : submitters) t.join();
+    EXPECT_EQ(served.load() + refused.load(), 4 * 32);
+  }
+}
+
+TEST(EngineOverloadTest, ShedModeThrowsOverloadedWhenQueueFull) {
+  const GateQuery gate;
+  QueryEngine engine(
+      {.num_threads = 1, .queue_capacity = 1, .shed_on_full = true});
+  const int method = engine.RegisterMethod(&gate);
+  // Worker busy on q1, q2 fills the queue, q3 must be shed.
+  std::future<QueryResult> q1 = engine.Submit(UnitTriangle(), method);
+  gate.WaitStarted(1);
+  std::future<QueryResult> q2 = engine.Submit(UnitTriangle(), method);
+  try {
+    engine.Submit(UnitTriangle(), method);
+    FAIL() << "expected EngineOverloadedError";
+  } catch (const EngineOverloadedError& e) {
+    EXPECT_EQ(e.capacity(), 1u);
+  }
+  gate.Release();
+  EXPECT_NO_THROW(q1.get());
+  EXPECT_NO_THROW(q2.get());
+}
+
+TEST(EngineDeadlineTest, QueuedQueryPastDeadlineFailsFastWithoutRunning) {
+  const GateQuery gate;
+  const GateQuery queued_gate;  // Separate started_ counter.
+  QueryEngine engine({.num_threads = 1, .queue_capacity = 4});
+  engine.RegisterMethod(&gate);
+  const int queued_method = engine.RegisterMethod(&queued_gate);
+  std::future<QueryResult> blocker = engine.Submit(UnitTriangle(), 0);
+  gate.WaitStarted(1);
+  // Deadline burns down while the task sits in the queue behind the
+  // blocker; by release time it is long dead.
+  SubmitOptions doomed_opts;
+  doomed_opts.deadline_ms = 5.0;
+  std::future<QueryResult> doomed =
+      engine.Submit(UnitTriangle(), queued_method, doomed_opts);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.Release();
+  queued_gate.Release();
+  try {
+    doomed.get();
+    FAIL() << "expected QueryAbortedError";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), QueryAbortedError::Reason::kDeadline);
+  }
+  EXPECT_NO_THROW(blocker.get());
+  // The fast path never entered the doomed query's Run.
+  EXPECT_EQ(queued_gate.started(), 0);
+}
+
+TEST(EngineDeadlineTest, RunningQueryObservesDeadlineMidFlight) {
+  const GateQuery gate;  // Never released: only the deadline can end it.
+  QueryEngine engine({.num_threads = 1});
+  const int method = engine.RegisterMethod(&gate);
+  SubmitOptions deadline_opts;
+  deadline_opts.deadline_ms = 20.0;
+  std::future<QueryResult> f =
+      engine.Submit(UnitTriangle(), method, deadline_opts);
+  try {
+    f.get();
+    FAIL() << "expected QueryAbortedError";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), QueryAbortedError::Reason::kDeadline);
+  }
+}
+
+TEST(EngineCancelTest, ExternalTokenCancelsRunningQuery) {
+  const GateQuery gate;  // Never released: only Cancel() can end it.
+  QueryEngine engine({.num_threads = 1});
+  const int method = engine.RegisterMethod(&gate);
+  auto token = std::make_shared<CancelToken>();
+  std::future<QueryResult> f =
+      engine.Submit(UnitTriangle(), method, {.cancel = token});
+  gate.WaitStarted(1);
+  token->Cancel();
+  try {
+    f.get();
+    FAIL() << "expected QueryAbortedError";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), QueryAbortedError::Reason::kCancelled);
+  }
+}
+
+TEST(EngineCancelTest, KernelsPollTokenAtBlockBoundaries) {
+  // Direct (engine-free) check of the O(block) abort bound: a
+  // pre-expired token must abort each method's refine/scan loop.
+  Rng rng(7);
+  const PointDatabase db(GenerateUniformPoints(3000, kUnit, &rng));
+  const BruteForceAreaQuery brute(&db);
+  CancelToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.set_cancel(&token);
+  EXPECT_THROW(brute.Run(UnitTriangle(), ctx), QueryAbortedError);
+  ctx.set_cancel(nullptr);
+  EXPECT_NO_THROW(brute.Run(UnitTriangle(), ctx));
+}
+
+// ---------------------------------------------------------------------------
+// VAQ_FAULT_SPEC environment plumbing
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvTest, EnvSpecArmsPagedDatabases) {
+  Rng rng(55);
+  std::vector<Point> points = GenerateUniformPoints(1500, kUnit, &rng);
+  ASSERT_EQ(::setenv("VAQ_FAULT_SPEC", "seed=1,read_error=1,retries=0", 1),
+            0);
+  PointDatabase::Options options;
+  options.storage.backend = StorageBackend::kMmap;
+  options.storage.cache_pages = 4;
+  options.storage.page_size_bytes = 512;
+  const PointDatabase db(points, options);
+  ::unsetenv("VAQ_FAULT_SPEC");
+  ASSERT_EQ(db.storage_backend(), StorageBackend::kMmap);
+  // Every read attempt faults and the budget is zero: the very first
+  // fetch must surface the typed error — proof the env spec reached the
+  // store without any code-level configuration.
+  QueryStats stats;
+  EXPECT_THROW(db.FetchPoint(0, &stats), PageReadError);
+
+  // And with the variable unset, the same construction is fault-free.
+  const PointDatabase clean_db(points, options);
+  EXPECT_NO_THROW(clean_db.FetchPoint(0, &stats));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded degraded partial-result mode
+// ---------------------------------------------------------------------------
+
+class ShardDegradedTest : public ::testing::Test {
+ protected:
+  ShardDegradedTest() {
+    Rng rng(321);
+    points_ = GenerateUniformPoints(2400, kUnit, &rng);
+    oracle_ = std::make_unique<PointDatabase>(points_);
+    PolygonSpec spec;
+    spec.query_size_fraction = 0.25;
+    area_ = GenerateQueryPolygon(spec, kUnit, &rng);
+  }
+
+  ShardedDatabase::Options FaultyShardOptions(const FaultSpec& fault) const {
+    ShardedDatabase::Options options;
+    options.num_shards = 8;
+    options.shard.base.storage.backend = StorageBackend::kMmap;
+    options.shard.base.storage.cache_pages = 2;
+    options.shard.base.storage.page_size_bytes = 256;
+    options.shard.base.storage.fault = fault;
+    return options;
+  }
+
+  std::vector<PointId> OracleIds(QueryContext& ctx) const {
+    const BruteForceAreaQuery brute(oracle_.get());
+    std::vector<PointId> out;
+    for (const PointId internal : brute.Run(area_, ctx)) {
+      out.push_back(oracle_->OriginalId(internal));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<Point> points_;
+  std::unique_ptr<PointDatabase> oracle_;
+  Polygon area_;
+};
+
+TEST_F(ShardDegradedTest, AllLegsFailingStrictThrowsPartialReturnsFlagged) {
+  FaultSpec fault;
+  fault.enabled = true;
+  fault.seed = 2;
+  fault.read_error_rate = 1.0;  // Every page read of every shard fails.
+  fault.max_read_retries = 1;
+  const ShardedDatabase sharded(points_, FaultyShardOptions(fault));
+  QueryContext ctx;
+
+  // Strict (default): typed error, never a silent partial answer.
+  const ShardedAreaQuery strict(&sharded, DynamicMethod::kBruteForce);
+  EXPECT_THROW(strict.Run(area_, ctx), PageReadError);
+
+  // Partial: empty result (every leg lost), loudly flagged.
+  ShardPolicy policy;
+  policy.allow_partial = true;
+  const ShardedAreaQuery partial(&sharded, DynamicMethod::kBruteForce,
+                                 nullptr, policy);
+  const std::vector<PointId> got = partial.Run(area_, ctx);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(ctx.stats.degraded, 1u);
+  EXPECT_GT(ctx.stats.shards_failed, 0u);
+  EXPECT_EQ(ctx.stats.shards_hit + ctx.stats.shards_pruned +
+                ctx.stats.shards_failed,
+            8u);
+}
+
+TEST_F(ShardDegradedTest, PartialResultsAreOracleSubsetWithFlags) {
+  // A corrupt rate calibrated so *some* shards lose a page and others
+  // stay clean (each shard streams ~19 pages, so at 2% per attempt a
+  // shard fails with p ~ 0.3; which ones is deterministic in the seed).
+  FaultSpec fault;
+  fault.enabled = true;
+  fault.seed = 11;
+  fault.corrupt_rate = 0.02;
+  fault.max_read_retries = 0;
+  const ShardedDatabase sharded(points_, FaultyShardOptions(fault));
+  QueryContext ctx;
+  const std::vector<PointId> truth = OracleIds(ctx);
+
+  ShardPolicy policy;
+  policy.allow_partial = true;
+  for (const DynamicMethod method :
+       {DynamicMethod::kBruteForce, DynamicMethod::kTraditional}) {
+    const ShardedAreaQuery query(&sharded, method, nullptr, policy);
+    const std::vector<PointId> got = query.Run(area_, ctx);
+    // Sorted subset of the oracle: degraded mode may lose shards, it may
+    // never invent or duplicate ids.
+    EXPECT_TRUE(std::includes(truth.begin(), truth.end(), got.begin(),
+                              got.end()));
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(ctx.stats.shards_hit + ctx.stats.shards_pruned +
+                  ctx.stats.shards_failed,
+              8u);
+    // The flag and the counter move together.
+    EXPECT_EQ(ctx.stats.degraded == 1, ctx.stats.shards_failed > 0);
+    if (ctx.stats.shards_failed == 0) {
+      EXPECT_EQ(got, truth);  // No losses => exact, flag clear.
+    }
+  }
+}
+
+TEST_F(ShardDegradedTest, LegTimeoutRetriesRecoverViaWarmedCache) {
+  // Every page is slow (10 ms per miss): a cold leg blows its 60 ms
+  // budget long before its shard's ~19 pages are in, and aborts at the
+  // next block boundary. But the pages it did load stay cached, so each
+  // retry starts warmer and pays for fewer misses — the retry budget
+  // converts a hard per-leg deadline into progress instead of a livelock.
+  // (Injected read errors could never be rescued this way: the injector
+  // is a pure hash of (page, attempt), so a page that fails its storage
+  // attempts fails them identically on every leg retry — by design, for
+  // replayability. Cache warming is the one genuinely transient axis.)
+  FaultSpec fault;
+  fault.enabled = true;
+  fault.seed = 77;
+  fault.slow_page_rate = 1.0;
+  fault.spike_ms = 10.0;
+  ShardedDatabase::Options options = FaultyShardOptions(fault);
+  options.shard.base.storage.cache_pages = 64;  // Hold a whole shard.
+  const ShardedDatabase sharded(points_, options);
+  QueryContext ctx;
+  const std::vector<PointId> truth = OracleIds(ctx);
+
+  ShardPolicy policy;
+  policy.leg_timeout_ms = 60.0;
+  policy.max_leg_retries = 8;
+  const ShardedAreaQuery query(&sharded, DynamicMethod::kBruteForce,
+                               nullptr, policy);
+  const std::vector<PointId> got = query.Run(area_, ctx);
+  EXPECT_EQ(got, truth);
+  EXPECT_EQ(ctx.stats.degraded, 0u);
+  EXPECT_EQ(ctx.stats.shards_failed, 0u);
+
+  // Same budget, no retries, strict: the cold legs' timeouts surface as
+  // the typed abort. (Caches are warm now, so rerun against a fresh
+  // database.)
+  const ShardedDatabase cold(points_, options);
+  const ShardedAreaQuery no_retries(&cold, DynamicMethod::kBruteForce,
+                                    nullptr, ShardPolicy{60.0, 0, false});
+  EXPECT_THROW(no_retries.Run(area_, ctx), QueryAbortedError);
+}
+
+TEST_F(ShardDegradedTest, ParentCancellationAbortsWholeQueryEvenPartial) {
+  const ShardedDatabase sharded(points_, FaultyShardOptions(FaultSpec{}));
+  ShardPolicy policy;
+  policy.allow_partial = true;
+  const ShardedAreaQuery query(&sharded, DynamicMethod::kBruteForce,
+                               nullptr, policy);
+  CancelToken token;
+  token.Cancel();
+  QueryContext ctx;
+  ctx.set_cancel(&token);
+  // A cancelled parent is an abort, not a "every shard failed" degraded
+  // answer — partial mode must not swallow it.
+  EXPECT_THROW(query.Run(area_, ctx), QueryAbortedError);
+  ctx.set_cancel(nullptr);
+}
+
+}  // namespace
+}  // namespace vaq

@@ -43,6 +43,13 @@ KEY_DEFAULTS = {"backend": "memory"}
 COUNTER_FIELDS = ("candidates", "geometry_loads", "redundant")
 TIME_FIELDS = ("time_ms",)
 METHODS = ("traditional", "voronoi")
+# Failure-domain counters must be *exactly* zero in the no-fault perf
+# rows the benches emit: a nonzero value means a retry/quarantine/
+# degraded-mode hook fired on the happy path, which is a correctness bug
+# regardless of how small the count is (no drift tolerance applies).
+# Absent keys pass, so baselines predating the fields keep working.
+FAULT_ZERO_FIELDS = ("io_retries", "pages_quarantined", "shards_failed",
+                     "degraded")
 
 # The pread-mode warm/cold throughput ratio of the out-of-core scan bench
 # must stay above this floor: warm hits read a cache frame, cold misses pay
@@ -209,6 +216,12 @@ def main():
                     check_time(f"[{where}] {method}.{field}",
                                base[method][field], row[method][field],
                                args.time_tol, failures)
+                for field in FAULT_ZERO_FIELDS:
+                    value = row[method].get(field, 0)
+                    if value != 0:
+                        failures.append(
+                            f"[{where}] {method}.{field}: {value} != 0 — "
+                            f"fault-path hook fired in a no-fault perf row")
             if row.get("mismatches", 0) != 0:
                 failures.append(f"[{where}] result-set mismatches: "
                                 f"{row['mismatches']}")

@@ -174,6 +174,34 @@ class RowMatchingTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout)
         self.assertIn("within tolerance", result.stdout)
 
+    def test_fault_counters_zero_passes(self):
+        # Explicit zeros in the failure-domain columns are the expected
+        # no-fault shape and must pass against any baseline.
+        clean = self.row()
+        clean["voronoi"] = dict(clean["voronoi"], io_retries=0,
+                                pages_quarantined=0, shards_failed=0,
+                                degraded=0)
+        result = self.run_gate([self.row()], [clean])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_fault_counters_nonzero_fail_exactly(self):
+        # No drift tolerance: even io_retries=1 in a no-fault perf row
+        # means a retry hook fired on the happy path.
+        for field in ("io_retries", "pages_quarantined", "shards_failed",
+                      "degraded"):
+            bad = self.row()
+            bad["traditional"] = dict(bad["traditional"], **{field: 1})
+            result = self.run_gate([self.row()], [bad])
+            self.assertEqual(result.returncode, 1, (field, result.stdout))
+            self.assertIn(f"traditional.{field}", result.stdout)
+            self.assertIn("no-fault perf row", result.stdout)
+
+    def test_fault_counters_absent_pass(self):
+        # Runs produced before the failure-domain fields existed carry no
+        # such keys; absence means zero, not a failure.
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
 
 class ClassifyTest(unittest.TestCase):
     def row(self, **overrides):

@@ -10,7 +10,14 @@
 //   vaq_pack verify <file.vpag>
 //       Full validation including the payload checksum.
 //
-// Exit status: 0 on success, 1 on usage error, 2 on a malformed file.
+// Exit status (distinct per failure domain, so scripts can branch):
+//   0  success
+//   1  usage error
+//   2  malformed page file (typed PageFileError: bad magic, truncation,
+//      checksum mismatch, ... — the kind is named in the message)
+//   3  page read failure (typed PageReadError: a page of a structurally
+//      valid file could not be served — IO fault or quarantined page)
+//   4  any other error (filesystem, bad dataset, ...)
 
 #include <cstring>
 #include <iostream>
@@ -60,7 +67,7 @@ int Pack(const std::string& in, const std::string& out,
   if (!LoadPoints(in, &points)) {
     std::cerr << "vaq_pack: cannot load points from " << in
               << " (not a VAQP binary or x,y CSV file)\n";
-    return 2;
+    return 4;
   }
   const std::vector<vaq::PointId> to_original = vaq::HilbertOrder(points);
   std::vector<double> xs(points.size()), ys(points.size());
@@ -128,9 +135,13 @@ int main(int argc, char** argv) {
     std::cerr << "vaq_pack: " << KindName(e.kind()) << ": " << e.what()
               << "\n";
     return 2;
+  } catch (const vaq::PageReadError& e) {
+    std::cerr << "vaq_pack: page " << e.page() << " unreadable: " << e.what()
+              << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "vaq_pack: " << e.what() << "\n";
-    return 2;
+    return 4;
   }
   return Usage();
 }
