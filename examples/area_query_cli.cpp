@@ -7,7 +7,10 @@
 //   area_query_cli <points.{vaqp|csv}> <polygon.csv> [method] [--ids]
 //                  [--backend=memory|mmap|mmap_uring]
 //                  [--cache-pages=N] [--page-size=B]
-//     method: voronoi (default) | traditional | grid-sweep | brute | all
+//     method: voronoi (default) | traditional | grid-sweep | brute |
+//       auto | all. `auto` routes through the adaptive planner
+//       (src/planner): the cost model picks the method per query and the
+//       CLI prints the choice and its reasons before the stats line.
 //     --ids : print the matching point ids (one per line) after the stats
 //     --backend: what serves the point geometry — in-memory arrays
 //       (default) or an mmap page file behind an LRU cache of N pages of
@@ -18,9 +21,18 @@
 // Point files: binary (VAQP magic, see workload/dataset_io.h) by ".vaqp"
 // extension, otherwise CSV "x,y" lines. Polygon files: CSV ring.
 //
-// Exit status: 0 success; 1 bad input data; 2 usage error; 3 malformed
-// page file; 4 page read failure (IO fault / quarantined page); 5 query
-// aborted (deadline/cancellation). See DESIGN.md §12.
+// Exit status — the one authoritative table, printed by the usage text
+// too so scripts can branch without reading the source (failure domains
+// in DESIGN.md §12):
+//   0  success
+//   1  bad input data (unreadable/empty points, bad polygon, duplicates)
+//   2  usage error (unknown flag, backend or method)
+//   3  malformed page file (corrupt header/truncation, PageFileError)
+//   4  page read failure (IO fault / quarantined page, PageReadError)
+//   5  query aborted (deadline or cancellation, QueryAbortedError)
+//   6  engine unavailable (stopped or overloaded admission-rejection,
+//      EngineStoppedError / EngineOverloadedError — see
+//      src/engine/errors.h)
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +47,8 @@
 #include "core/point_database.h"
 #include "core/traditional_area_query.h"
 #include "core/voronoi_area_query.h"
+#include "engine/errors.h"
+#include "planner/planned_area_query.h"
 #include "storage/page_format.h"
 #include "storage/page_store.h"
 #include "workload/dataset_io.h"
@@ -46,6 +60,29 @@ using namespace vaq;
 bool EndsWith(const std::string& s, const char* suffix) {
   const std::size_t n = std::strlen(suffix);
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string PlanReasonString(std::uint64_t reason) {
+  static constexpr struct {
+    std::uint64_t bit;
+    const char* name;
+  } kBits[] = {
+      {plan_reason::kSeedModel, "seed-model"},
+      {plan_reason::kLearnedModel, "learned-model"},
+      {plan_reason::kForced, "forced"},
+      {plan_reason::kCacheHit, "cache-hit"},
+      {plan_reason::kIoBound, "io-bound"},
+      {plan_reason::kTinyData, "tiny-data"},
+      {plan_reason::kScatter, "scatter"},
+      {plan_reason::kInline, "inline"},
+  };
+  std::string s;
+  for (const auto& b : kBits) {
+    if ((reason & b.bit) == 0) continue;
+    if (!s.empty()) s += ",";
+    s += b.name;
+  }
+  return s.empty() ? "none" : s;
 }
 
 void RunOne(const PointDatabase& db, const AreaQuery& query,
@@ -85,9 +122,16 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s <points.{vaqp|csv}> <polygon.csv> "
-                 "[voronoi|traditional|grid-sweep|brute|all] [--ids]\n"
+                 "[voronoi|traditional|grid-sweep|brute|auto|all] [--ids]\n"
                  "       [--backend=memory|mmap|mmap_uring] "
-                 "[--cache-pages=N] [--page-size=B]\n",
+                 "[--cache-pages=N] [--page-size=B]\n"
+                 "  auto: adaptive planner picks the method per query "
+                 "(choice and reasons are printed)\n"
+                 "exit codes: 0 success; 1 bad input data; 2 usage error; "
+                 "3 malformed page file;\n"
+                 "  4 page read failure; 5 query aborted "
+                 "(deadline/cancellation); 6 engine unavailable\n"
+                 "  (stopped/overloaded)\n",
                  argv[0]);
     return 2;
   }
@@ -148,10 +192,8 @@ int main(int argc, char** argv) {
   // The database enforces pairwise distinctness (the Delaunay builder's
   // precondition); report the offending rows in the caller's frame — the
   // point order of the input file (comment/blank lines excluded).
-  // Failure-domain exit codes (DESIGN.md §12), distinct so scripts can
-  // branch: 3 = malformed page file, 4 = page read failure (IO fault /
-  // quarantined page — e.g. under a VAQ_FAULT_SPEC soak), 5 = query
-  // aborted by deadline or cancellation.
+  // Failure exits map 1:1 to the exception types caught below; the
+  // code table lives in the header comment (and the usage text) only.
   std::unique_ptr<PointDatabase> db_holder;
   try {
     db_holder = std::make_unique<PointDatabase>(std::move(points), db_options);
@@ -170,6 +212,17 @@ int main(int argc, char** argv) {
     if (method == "brute" || method == "all") {
       RunOne(db, BruteForceAreaQuery(&db), area, print_ids && method != "all");
     }
+    if (method == "auto" || method == "all") {
+      const PlannedAreaQuery planned(&db);
+      const QueryPlan plan = planned.PlanFor(area);
+      std::printf(
+          "# planner: method=%s reason=%s predicted_candidates=%.0f "
+          "predicted_cost=%.3fms\n",
+          std::string(MethodName(plan.method)).c_str(),
+          PlanReasonString(plan.reason).c_str(), plan.predicted_candidates,
+          plan.predicted_cost_ns / 1e6);
+      RunOne(db, planned, area, print_ids && method != "all");
+    }
   } catch (const DuplicatePointError& e) {
     std::fprintf(stderr,
                  "error: %s: duplicate point (%.17g, %.17g) at input rows "
@@ -186,9 +239,16 @@ int main(int argc, char** argv) {
   } catch (const QueryAbortedError& e) {
     std::fprintf(stderr, "error: query aborted: %s\n", e.what());
     return 5;
+  } catch (const EngineStoppedError& e) {
+    std::fprintf(stderr, "error: engine unavailable: %s\n", e.what());
+    return 6;
+  } catch (const EngineOverloadedError& e) {
+    std::fprintf(stderr, "error: engine unavailable: %s\n", e.what());
+    return 6;
   }
   if (method != "voronoi" && method != "traditional" &&
-      method != "grid-sweep" && method != "brute" && method != "all") {
+      method != "grid-sweep" && method != "brute" && method != "auto" &&
+      method != "all") {
     std::fprintf(stderr, "error: unknown method '%s'\n", method.c_str());
     return 2;
   }

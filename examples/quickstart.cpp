@@ -87,8 +87,8 @@ int main() {
   for (const MethodEngineStats& m : es.methods) {
     std::printf("  %-14s %6llu queries %12llu candidates %10llu loads\n",
                 m.name.c_str(), static_cast<unsigned long long>(m.queries),
-                static_cast<unsigned long long>(m.candidates),
-                static_cast<unsigned long long>(m.geometry_loads));
+                static_cast<unsigned long long>(m.totals.candidates),
+                static_cast<unsigned long long>(m.totals.geometry_loads));
   }
   std::printf("batch mismatches across %zu polygons: %d\n", batch.size(),
               batch_mismatches);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "planner/planned_area_query.h"
+
 namespace vaq {
 
 namespace {
@@ -42,6 +44,8 @@ DynamicPointDatabase::DynamicPointDatabase(std::vector<Point> initial,
   current_ = std::move(snap);
 }
 
+DynamicPointDatabase::~DynamicPointDatabase() = default;
+
 bool DynamicPointDatabase::IsLiveDuplicateLocked(const Point& p) const {
   const Snapshot& snap = *current_;
   // Base side: distinct base points mean at most one can equal `p`, and if
@@ -70,6 +74,7 @@ std::optional<PointId> DynamicPointDatabase::Insert(const Point& p) {
   // a slot no published snapshot can read (all record sizes <= the
   // current one), so inserts are amortised O(1), not O(delta).
   auto next = std::make_shared<Snapshot>(*current_);
+  next->version_ = next_version_++;
   const PointId stable_id = next->stable_limit_++;
   auto delta = std::make_shared<DeltaBuffer>(*next->delta_);
   const std::size_t ci = delta->size / DeltaChunk::kCapacity;
@@ -107,6 +112,7 @@ bool DynamicPointDatabase::Erase(PointId id) {
   const auto it = loc_.find(id);
   if (it == loc_.end()) return false;
   auto next = std::make_shared<Snapshot>(*current_);
+  next->version_ = next_version_++;
   const Loc loc = it->second;
   if (loc.kind == Loc::kBase) {
     const std::size_t words = (next->bundle_->db.size() + 63) / 64;
@@ -217,6 +223,7 @@ void DynamicPointDatabase::CompactLocked() {
   next->base_live_ = n;
   next->delta_ = std::make_shared<const DeltaBuffer>();
   next->stable_limit_ = snap.stable_limit_;
+  next->version_ = next_version_++;
   PublishLocked(std::move(next));
   loc_.swap(new_loc);
   delta_coords_.clear();
@@ -264,6 +271,19 @@ std::size_t DynamicPointDatabase::TombstoneCount() const {
 std::uint64_t DynamicPointDatabase::Compactions() const {
   std::lock_guard<std::mutex> lock(writer_mu_);
   return compactions_;
+}
+
+std::vector<PointId> DynamicPointDatabase::Query(const Polygon& area,
+                                                 QueryContext& ctx) const {
+  return Query(area, ctx, PlanHints{});
+}
+
+std::vector<PointId> DynamicPointDatabase::Query(
+    const Polygon& area, QueryContext& ctx, const PlanHints& hints) const {
+  std::call_once(planned_once_, [this] {
+    planned_ = std::make_unique<PlannedAreaQuery>(this);
+  });
+  return planned_->RunPlanned(area, ctx, hints);
 }
 
 }  // namespace vaq

@@ -13,20 +13,15 @@
 
 #include "core/brute_force_area_query.h"
 #include "core/grid_sweep_area_query.h"
+#include "core/method.h"
 #include "core/point_database.h"
 #include "core/traditional_area_query.h"
 #include "core/voronoi_area_query.h"
 
 namespace vaq {
 
-/// The four area-query strategies a dynamic database serves; selects which
-/// base implementation a `DynamicAreaQuery` wraps.
-enum class DynamicMethod {
-  kVoronoi,
-  kTraditional,
-  kGridSweep,
-  kBruteForce,
-};
+struct PlanHints;
+class PlannedAreaQuery;
 
 /// Mutable database layer over the immutable Hilbert-clustered
 /// `PointDatabase`, following the classic log-structured pattern:
@@ -202,6 +197,11 @@ class DynamicPointDatabase {
     std::size_t live_size() const { return base_live_ + delta_size(); }
     /// Exclusive upper bound of every stable id in this version.
     PointId stable_limit() const { return stable_limit_; }
+    /// Monotonic publication counter: 0 for the initial version, +1 per
+    /// published mutation/compaction. Two pins with equal versions are the
+    /// same immutable snapshot, which is what keys the planner's result
+    /// cache — republication invalidates every cached entry for free.
+    std::uint64_t version() const { return version_; }
 
     /// Visits every live point as `fn(stable_id, point)`, base first
     /// (internal order) then delta (buffer order).
@@ -229,6 +229,7 @@ class DynamicPointDatabase {
     /// delta deletes copy the touched chunks, base deletes share it.
     std::shared_ptr<const DeltaBuffer> delta_;
     PointId stable_limit_ = 0;
+    std::uint64_t version_ = 0;
   };
 
   /// Builds the initial version from `initial`; its points receive stable
@@ -237,6 +238,7 @@ class DynamicPointDatabase {
   explicit DynamicPointDatabase(std::vector<Point> initial)
       : DynamicPointDatabase(std::move(initial), Options{}) {}
   DynamicPointDatabase(std::vector<Point> initial, Options options);
+  ~DynamicPointDatabase();  // Out of line: `planned_` is incomplete here.
 
   DynamicPointDatabase(const DynamicPointDatabase&) = delete;
   DynamicPointDatabase& operator=(const DynamicPointDatabase&) = delete;
@@ -268,6 +270,20 @@ class DynamicPointDatabase {
   /// lock, which writers hold only to swap the pointer (never during a
   /// compaction rebuild).
   std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Runs one area query through the adaptive planner (see
+  /// `PlannedAreaQuery`): the cost model picks the method per query, the
+  /// snapshot-keyed result cache serves repeated identical polygons, and
+  /// `ctx.stats.plan_method`/`plan_reason` record the choice. This is the
+  /// planned single entry point; the four per-method query objects remain
+  /// reachable through `Snapshot::BaseQuery` for benches and differential
+  /// tests that need a *fixed* method.
+  ///
+  /// Thread-safe like `snapshot()`: the planner/cache state is internally
+  /// synchronized, each caller brings its own `QueryContext`.
+  std::vector<PointId> Query(const Polygon& area, QueryContext& ctx) const;
+  std::vector<PointId> Query(const Polygon& area, QueryContext& ctx,
+                             const PlanHints& hints) const;
 
   /// Geometry of the live point with stable id `id`, if any.
   ///
@@ -322,6 +338,14 @@ class DynamicPointDatabase {
   std::unordered_set<Point, PointHash> delta_coords_;
   std::size_t tombstone_count_ = 0;
   std::uint64_t compactions_ = 0;
+  /// Next snapshot version to publish (guarded by `writer_mu_`).
+  std::uint64_t next_version_ = 1;
+
+  /// Lazily built planner behind `Query` (planner EWMA state + result
+  /// cache, both internally synchronized). `mutable` because `Query` is
+  /// logically const — it mutates only tuning/cache state, never data.
+  mutable std::once_flag planned_once_;
+  mutable std::unique_ptr<PlannedAreaQuery> planned_;
 };
 
 }  // namespace vaq

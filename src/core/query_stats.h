@@ -1,6 +1,7 @@
 #ifndef VAQ_CORE_QUERY_STATS_H_
 #define VAQ_CORE_QUERY_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace vaq {
@@ -90,7 +91,27 @@ struct QueryStats {
   /// because at least one shard leg failed under the partial-result
   /// policy. Never set on strict-mode or unsharded queries.
   std::uint64_t degraded = 0;
+  /// Planner accounting (src/planner). `plan_method` is the OR of
+  /// `MethodBit(m)` for every method a planned execution ran (a mask like
+  /// `kernel_kind`, so sharded legs and engine totals merge losslessly);
+  /// `plan_reason` ORs the `PlanReason` bits explaining the choice. Both
+  /// 0 when the query was dispatched by hand rather than planned.
+  std::uint64_t plan_method = 0;
+  std::uint64_t plan_reason = 0;
+  /// Snapshot-keyed result-cache traffic of a planned query: exactly one
+  /// of the two is 1 per planned execution with caching enabled (a hit
+  /// short-circuits execution entirely and leaves the work counters 0).
+  /// Additive across repetitions, so engine totals count hits/misses.
+  std::uint64_t result_cache_hits = 0;
+  std::uint64_t result_cache_misses = 0;
   double elapsed_ms = 0.0;
+
+  /// Number of fields above — the merge contract's checksum. `MergeFrom`
+  /// static-asserts `sizeof(QueryStats) == kFieldCount * 8` (every field
+  /// is a uint64 or double), so adding a field without teaching the merge
+  /// about it fails the build instead of silently dropping counters in
+  /// engine aggregation and sharded gathers.
+  static constexpr std::size_t kFieldCount = 25;
 
   /// Candidates that failed refinement — the waste both methods try to
   /// minimise. For the window-filter and Voronoi methods every result is a
@@ -102,9 +123,18 @@ struct QueryStats {
 
   void Reset() { *this = QueryStats{}; }
 
-  /// Element-wise accumulation (used by the experiment runner to average
-  /// over repetitions).
-  QueryStats& operator+=(const QueryStats& o) {
+  /// The one merge of two stats records, used everywhere partial stats
+  /// combine: the engine's per-method aggregation, the sharded gather's
+  /// per-leg summation, the experiment runner's repetition averages.
+  /// Counters add; the mask/flag fields (`kernel_kind`, `degraded`,
+  /// `plan_method`, `plan_reason`) OR, so the merge is lossless for them
+  /// too. Preserves the `candidates == candidate_hits + visited_rejected`
+  /// invariant when both operands satisfy it.
+  QueryStats& MergeFrom(const QueryStats& o) {
+    static_assert(sizeof(QueryStats) == kFieldCount * sizeof(std::uint64_t),
+                  "QueryStats gained/lost a field: update MergeFrom (and "
+                  "kFieldCount) so the new field merges instead of being "
+                  "silently dropped by engine/shard aggregation");
     candidates += o.candidates;
     candidate_hits += o.candidate_hits;
     results += o.results;
@@ -125,9 +155,17 @@ struct QueryStats {
     pages_quarantined += o.pages_quarantined;
     shards_failed += o.shards_failed;
     degraded |= o.degraded;  // Flag: any degraded leg degrades the merge.
+    plan_method |= o.plan_method;  // Masks, like kernel_kind.
+    plan_reason |= o.plan_reason;
+    result_cache_hits += o.result_cache_hits;
+    result_cache_misses += o.result_cache_misses;
     elapsed_ms += o.elapsed_ms;
     return *this;
   }
+
+  /// Element-wise accumulation (the experiment runner's averaging loop);
+  /// an alias of `MergeFrom` so there is exactly one merge to maintain.
+  QueryStats& operator+=(const QueryStats& o) { return MergeFrom(o); }
 };
 
 }  // namespace vaq

@@ -193,23 +193,8 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       MethodEngineStats& m = state->methods[task->method];
       if (m.name.empty()) m.name = std::string(task->query->Name());
       ++m.queries;
-      m.candidates += result.stats.candidates;
-      m.geometry_loads += result.stats.geometry_loads;
-      m.index_node_accesses += result.stats.index_node_accesses;
-      m.neighbor_expansions += result.stats.neighbor_expansions;
-      m.bulk_accepted += result.stats.bulk_accepted;
-      m.visited_rejected += result.stats.visited_rejected;
-      m.delta_candidates += result.stats.delta_candidates;
-      m.shards_hit += result.stats.shards_hit;
-      m.shards_pruned += result.stats.shards_pruned;
-      m.pages_touched += result.stats.pages_touched;
-      m.page_cache_hits += result.stats.page_cache_hits;
-      m.page_cache_misses += result.stats.page_cache_misses;
-      m.io_retries += result.stats.io_retries;
-      m.pages_quarantined += result.stats.pages_quarantined;
-      m.shards_failed += result.stats.shards_failed;
       m.degraded_queries += result.stats.degraded;
-      m.total_query_ms += result.stats.elapsed_ms;
+      m.totals.MergeFrom(result.stats);
     }
     task->promise.set_value(std::move(result));
   }
@@ -231,23 +216,8 @@ EngineStats QueryEngine::Stats() const {
       MethodEngineStats& agg = out.methods[i];
       if (agg.name.empty()) agg.name = m.name;
       agg.queries += m.queries;
-      agg.candidates += m.candidates;
-      agg.geometry_loads += m.geometry_loads;
-      agg.index_node_accesses += m.index_node_accesses;
-      agg.neighbor_expansions += m.neighbor_expansions;
-      agg.bulk_accepted += m.bulk_accepted;
-      agg.visited_rejected += m.visited_rejected;
-      agg.delta_candidates += m.delta_candidates;
-      agg.shards_hit += m.shards_hit;
-      agg.shards_pruned += m.shards_pruned;
-      agg.pages_touched += m.pages_touched;
-      agg.page_cache_hits += m.page_cache_hits;
-      agg.page_cache_misses += m.page_cache_misses;
-      agg.io_retries += m.io_retries;
-      agg.pages_quarantined += m.pages_quarantined;
-      agg.shards_failed += m.shards_failed;
       agg.degraded_queries += m.degraded_queries;
-      agg.total_query_ms += m.total_query_ms;
+      agg.totals.MergeFrom(m.totals);
     }
   }
   {

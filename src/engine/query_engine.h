@@ -52,42 +52,22 @@ struct QueryResult {
   QueryStats stats;
 };
 
-/// Aggregated counters for one registered query method.
+/// Aggregated counters for one registered query method. The per-query
+/// `QueryStats` records merge via `QueryStats::MergeFrom` — the same
+/// merge the sharded gather uses — so every stats field (including ones
+/// added later) aggregates here without a hand-written summation to keep
+/// in sync. `totals.elapsed_ms` is the summed per-query execution time;
+/// the mask fields (`kernel_kind`, `degraded`, `plan_method`,
+/// `plan_reason`) OR across queries.
 struct MethodEngineStats {
   std::string name;
   std::uint64_t queries = 0;
-  std::uint64_t candidates = 0;
-  std::uint64_t geometry_loads = 0;
-  std::uint64_t index_node_accesses = 0;
-  std::uint64_t neighbor_expansions = 0;
-  /// Results accepted without per-point validation (subtrees/cells whose
-  /// MBR the prepared polygon classified fully inside).
-  std::uint64_t bulk_accepted = 0;
-  /// Candidates validated but rejected (see
-  /// `QueryStats::visited_rejected`).
-  std::uint64_t visited_rejected = 0;
-  /// Candidates scanned out of a dynamic database's delta buffer (see
-  /// `QueryStats::delta_candidates`); 0 for static methods.
-  std::uint64_t delta_candidates = 0;
-  /// Scatter-gather accounting of sharded methods (see
-  /// `QueryStats::shards_hit`/`shards_pruned`); 0 for unsharded methods.
-  std::uint64_t shards_hit = 0;
-  std::uint64_t shards_pruned = 0;
-  /// Page-cache traffic of the out-of-core backends (see
-  /// `QueryStats::pages_touched`); all 0 for the in-memory backend.
-  std::uint64_t pages_touched = 0;
-  std::uint64_t page_cache_hits = 0;
-  std::uint64_t page_cache_misses = 0;
-  /// Failure-domain counters (DESIGN.md §12): storage read retries,
-  /// pages written off after repeated checksum failures, and scatter legs
-  /// that failed in a degraded partial-result query. All 0 unless fault
-  /// injection is active or hardware genuinely misbehaves.
-  std::uint64_t io_retries = 0;
-  std::uint64_t pages_quarantined = 0;
-  std::uint64_t shards_failed = 0;
   /// Queries that completed degraded (partial results after leg failure).
+  /// Counted per *query*, unlike `totals.degraded` which is the OR'd
+  /// flag — an engine window needs "how many", not "whether any".
   std::uint64_t degraded_queries = 0;
-  double total_query_ms = 0.0;  // Sum of per-query execution times.
+  /// Merged per-query stats of every completed query of this method.
+  QueryStats totals;
 };
 
 /// Snapshot of engine-level statistics since construction or the last

@@ -1,0 +1,83 @@
+#ifndef VAQ_PLANNER_QUERY_PLAN_H_
+#define VAQ_PLANNER_QUERY_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "core/method.h"
+
+namespace vaq {
+
+/// Why the planner chose what it chose, as OR-able bits recorded in
+/// `QueryStats::plan_reason` (merged across sharded legs / engine totals
+/// by OR, like `kernel_kind`). A plan usually carries several bits —
+/// e.g. kSeedModel | kIoBound | kScatter.
+namespace plan_reason {
+/// The choice came from the static cost model seeded off the committed
+/// BENCH baselines (no live observations for this bucket yet).
+inline constexpr std::uint64_t kSeedModel = 1u << 0;
+/// The choice used coefficients tuned by live `QueryStats` observations
+/// (the per-(method, selectivity-bucket) EWMA had data for this bucket).
+inline constexpr std::uint64_t kLearnedModel = 1u << 1;
+/// The caller forced the method via `PlanHints::force_method`.
+inline constexpr std::uint64_t kForced = 1u << 2;
+/// The result was served from the snapshot-keyed result cache; no
+/// execution ran (the method bit records the *planned* method).
+inline constexpr std::uint64_t kCacheHit = 1u << 3;
+/// Per-candidate IO dominates per-candidate CPU (simulated fetch or
+/// paged backend), the regime where the Voronoi method's smaller
+/// candidate set wins (the paper's crossover).
+inline constexpr std::uint64_t kIoBound = 1u << 4;
+/// The database is small enough that index/prepare fixed costs dominate
+/// and the brute scan wins.
+inline constexpr std::uint64_t kTinyData = 1u << 5;
+/// Sharded only: the plan fans surviving shards onto the scatter engine.
+inline constexpr std::uint64_t kScatter = 1u << 6;
+/// Sharded only: the plan runs surviving shards inline (fan-out would
+/// cost more than it overlaps).
+inline constexpr std::uint64_t kInline = 1u << 7;
+}  // namespace plan_reason
+
+/// Caller-side knobs of one planned query (`PlannedAreaQuery::RunPlanned`,
+/// `DynamicPointDatabase::Query`, `ShardedDatabase::Query`). Defaults =
+/// fully automatic.
+struct PlanHints {
+  /// Bypass the cost model and run this method (the plan still carries
+  /// reason bits, records stats, and uses the result cache).
+  std::optional<DynamicMethod> force_method;
+  /// Consult/fill the snapshot-keyed result cache. Disable for one-shot
+  /// polygons that would only evict hotter entries.
+  bool use_cache = true;
+  /// Sharded only: allow fanning legs onto the scatter engine. Disable to
+  /// pin the query inline regardless of the cost model's fanout call.
+  bool allow_scatter = true;
+};
+
+/// What the planner decided for one query, plus the predictions the
+/// decision was based on — kept so `QueryPlanner::Observe` can compare
+/// prediction against the measured `QueryStats` and tune the model.
+struct QueryPlan {
+  DynamicMethod method = DynamicMethod::kTraditional;
+  /// OR of `plan_reason::*` bits explaining the choice.
+  std::uint64_t reason = 0;
+  /// Selectivity bucket the EWMA state is keyed on (see `QueryPlanner`).
+  int bucket = 0;
+  /// IO-bound regime flag (second EWMA key dimension).
+  bool io_bound = false;
+  /// Sharded fanout call: scatter surviving shards onto the engine
+  /// (true) or run them inline (false). Meaningless for unsharded plans.
+  bool scatter = false;
+  /// Prepared-kernel sizing hint: the predicted number of point-in-
+  /// polygon tests, fed to `QueryContext::Prepared(area, expected_tests)`
+  /// so the raster grid amortises against the *estimated* workload
+  /// instead of the polygon-complexity default.
+  std::size_t expected_tests = 0;
+  /// The model's predictions for the chosen method (Observe inputs).
+  double predicted_cost_ns = 0.0;
+  double predicted_candidates = 0.0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_PLANNER_QUERY_PLAN_H_

@@ -1,0 +1,71 @@
+#include "planner/result_cache.h"
+
+#include <bit>
+#include <utility>
+
+namespace vaq {
+
+std::uint64_t HashPolygonBits(const Polygon& area) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto Mix = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  Mix(static_cast<std::uint64_t>(area.size()));
+  for (const Point& v : area.vertices()) {
+    Mix(std::bit_cast<std::uint64_t>(v.x));
+    Mix(std::bit_cast<std::uint64_t>(v.y));
+  }
+  return h;
+}
+
+std::shared_ptr<const std::vector<PointId>> ResultCache::Lookup(
+    const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->ids;
+}
+
+void ResultCache::Insert(const Key& key,
+                         std::shared_ptr<const std::vector<PointId>> ids) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->ids = std::move(ids);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(ids)});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace vaq

@@ -1,0 +1,91 @@
+#ifndef VAQ_PLANNER_RESULT_CACHE_H_
+#define VAQ_PLANNER_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/point_database.h"
+#include "geometry/polygon.h"
+
+namespace vaq {
+
+/// Exact bit-hash of a polygon: FNV-1a over the vertex count and the raw
+/// IEEE-754 bits of every coordinate in order. Two polygons collide in
+/// the cache key only if every vertex is bit-identical in the same order
+/// — the only regime in which a cached answer is guaranteed equal to a
+/// fresh run (re-ordered or perturbed vertices can change degenerate-edge
+/// behaviour, so they intentionally miss).
+std::uint64_t HashPolygonBits(const Polygon& area);
+
+/// Snapshot-keyed LRU cache of query results.
+///
+/// The key is (snapshot version, polygon bit-hash). Versions come from the
+/// COW snapshot counters (`DynamicPointDatabase::Snapshot::version`,
+/// `ShardedDatabase::Snapshot::version`): every published mutation bumps
+/// the version, so *invalidation is free* — entries for older versions
+/// simply stop being looked up and age out of the LRU tail. There is no
+/// epoch scan, no writer hook, nothing on the mutation path.
+///
+/// Values are shared immutable id vectors: a hit hands back the pointer,
+/// the caller copies if it must mutate. Capacity-bounded; thread-safe
+/// (single internal mutex — entries are small and lookups are rare
+/// relative to query work).
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity = 128) : capacity_(capacity) {}
+
+  struct Key {
+    std::uint64_t version = 0;
+    std::uint64_t polygon_hash = 0;
+    bool operator==(const Key& o) const {
+      return version == o.version && polygon_hash == o.polygon_hash;
+    }
+  };
+
+  /// Returns the cached ids and refreshes LRU recency, or null on miss.
+  std::shared_ptr<const std::vector<PointId>> Lookup(const Key& key);
+
+  /// Inserts (or refreshes) `ids` under `key`, evicting the least
+  /// recently used entry beyond capacity. A capacity of 0 disables the
+  /// cache (inserts are dropped).
+  void Insert(const Key& key, std::shared_ptr<const std::vector<PointId>> ids);
+
+  /// Cumulative counters (monotonic; for stats plumbing and tests).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // Mix the two words; splitmix64-style finalizer.
+      std::uint64_t x = k.version * 0x9e3779b97f4a7c15ull ^ k.polygon_hash;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::vector<PointId>> ids;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recent. The map points into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vaq
+
+#endif  // VAQ_PLANNER_RESULT_CACHE_H_

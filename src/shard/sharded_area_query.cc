@@ -41,22 +41,19 @@ class ShardLegQuery final : public AreaQuery {
 
 }  // namespace
 
-std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
-                                           QueryContext& ctx) const {
+std::vector<PointId> RunShardedSnapshotQuery(
+    const ShardedDatabase::Snapshot& snap, DynamicMethod method,
+    const Polygon& area, QueryContext& ctx, QueryEngine* scatter_engine,
+    const ShardPolicy& policy) {
   const auto t0 = std::chrono::steady_clock::now();
-  // Pin one cross-shard version: every leg below queries the exact shard
-  // snapshots recorded here, immune to concurrent mutations and to skew
-  // between shards.
-  const std::shared_ptr<const ShardedDatabase::Snapshot> snap =
-      db_->snapshot();
 
   // Prune: O(1) conservative box test per shard. Empty shards are counted
   // as pruned too (their MBR may be stale-empty or missing).
   const PreparedArea& prep = ctx.Prepared(area);
   std::vector<const ShardedDatabase::ShardView*> survivors;
-  survivors.reserve(snap->shards().size());
+  survivors.reserve(snap.shards().size());
   std::uint64_t pruned = 0;
-  for (const ShardedDatabase::ShardView& view : snap->shards()) {
+  for (const ShardedDatabase::ShardView& view : snap.shards()) {
     if (view.snap->live_size() == 0 ||
         prep.ClassifyBox(view.mbr) == PreparedArea::Region::kOutside) {
       ++pruned;
@@ -78,10 +75,10 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   // then skip token polling entirely.
   const CancelToken* parent = ctx.cancel();
   const auto MakeLegToken = [&]() -> std::shared_ptr<CancelToken> {
-    if (policy_.leg_timeout_ms <= 0.0 && parent == nullptr) return nullptr;
+    if (policy.leg_timeout_ms <= 0.0 && parent == nullptr) return nullptr;
     auto token = std::make_shared<CancelToken>();
-    if (policy_.leg_timeout_ms > 0.0) {
-      token->SetDeadlineAfterMs(policy_.leg_timeout_ms);
+    if (policy.leg_timeout_ms > 0.0) {
+      token->SetDeadlineAfterMs(policy.leg_timeout_ms);
     }
     token->set_parent(parent);
     return token;
@@ -107,7 +104,7 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   std::vector<ShardLegQuery> legs;
   legs.reserve(survivors.size());
   for (const ShardedDatabase::ShardView* view : survivors) {
-    legs.emplace_back(view, method_);
+    legs.emplace_back(view, method);
   }
   std::vector<std::exception_ptr> leg_errors(legs.size());
 
@@ -116,8 +113,8 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   // documented deadlock configuration), scattering would block this
   // worker on legs that may only ever be queued behind more blocked
   // parents. Degrade to inline legs instead of hanging.
-  const bool scatter = scatter_engine_ != nullptr && survivors.size() > 1 &&
-                       !scatter_engine_->OnWorkerThread();
+  const bool scatter = scatter_engine != nullptr && survivors.size() > 1 &&
+                       !scatter_engine->OnWorkerThread();
   if (scatter) {
     // Every submitted leg must be drained before this frame can unwind:
     // the pool executes legs through pointers into `legs`, the per-leg
@@ -130,7 +127,7 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
     for (std::size_t i = 0; i < legs.size(); ++i) {
       try {
         futures.push_back(
-            scatter_engine_->SubmitWith(&legs[i], area, MakeLegToken()));
+            scatter_engine->SubmitWith(&legs[i], area, MakeLegToken()));
       } catch (...) {
         // Submit no further legs (the engine is stopping or shedding);
         // the unsubmitted tail is marked failed and the in-flight legs
@@ -168,7 +165,7 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
   std::exception_ptr first_error;
   for (std::size_t i = 0; i < legs.size(); ++i) {
     for (int attempt = 0;
-         leg_errors[i] != nullptr && attempt < policy_.max_leg_retries;
+         leg_errors[i] != nullptr && attempt < policy.max_leg_retries;
          ++attempt) {
       leg_errors[i] = TryLegInline(legs[i]);
     }
@@ -177,13 +174,13 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
       if (first_error == nullptr) first_error = leg_errors[i];
     }
   }
-  if (failed > 0 && !policy_.allow_partial) {
+  if (failed > 0 && !policy.allow_partial) {
     std::rethrow_exception(first_error);
   }
 
   // Per-shard results are disjoint global-id sets; one sort restores the
   // ascending contract over the merged list.
-  ctx.SortIds(result, snap->stable_limit());
+  ctx.SortIds(result, snap.stable_limit());
   merged.shards_hit = survivors.size() - failed;
   merged.shards_pruned = pruned;
   merged.shards_failed = failed;
@@ -194,6 +191,17 @@ std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
                           .count();
   ctx.stats = merged;
   return result;
+}
+
+std::vector<PointId> ShardedAreaQuery::Run(const Polygon& area,
+                                           QueryContext& ctx) const {
+  // Pin one cross-shard version: every leg queries the exact shard
+  // snapshots recorded here, immune to concurrent mutations and to skew
+  // between shards.
+  const std::shared_ptr<const ShardedDatabase::Snapshot> snap =
+      db_->snapshot();
+  return RunShardedSnapshotQuery(*snap, method_, area, ctx, scatter_engine_,
+                                 policy_);
 }
 
 }  // namespace vaq

@@ -34,6 +34,21 @@ struct ShardPolicy {
   bool allow_partial = false;
 };
 
+/// Runs one scatter-gather area query against an already-pinned
+/// cross-shard snapshot: MBR prune, scatter (parallel legs through
+/// `scatter_engine`, or sequential inline legs when it is null or the
+/// caller is itself a worker of that pool), gather + merge + sort. This
+/// is the body of `ShardedAreaQuery::Run` minus the pin, exposed for the
+/// same reason as `RunDynamicSnapshotQuery`: a caller that derives other
+/// state from the snapshot — the planner keys its result cache on
+/// `Snapshot::version()` — must execute against the exact version it
+/// pinned, not whatever is current when the query runs.
+/// `ctx.stats` is reset and filled like any `AreaQuery::Run`.
+std::vector<PointId> RunShardedSnapshotQuery(
+    const ShardedDatabase::Snapshot& snap, DynamicMethod method,
+    const Polygon& area, QueryContext& ctx, QueryEngine* scatter_engine,
+    const ShardPolicy& policy);
+
 /// Scatter-gather area query over a `ShardedDatabase`:
 ///
 ///  1. **Pin** one cross-shard snapshot, so every sub-query answers the

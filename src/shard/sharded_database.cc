@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "delaunay/hilbert.h"
+#include "planner/planned_area_query.h"
 
 namespace vaq {
 
@@ -184,6 +185,7 @@ std::optional<PointId> ShardedDatabase::Insert(const Point& p) {
   next->shards_[s].ids = std::move(ids);
   next->shards_[s].mbr = mbrs_[s];
   next->stable_limit_ = next_global_;
+  next->version_ = next_version_++;
   PublishLocked(std::move(next));
   return global;
 }
@@ -201,6 +203,7 @@ bool ShardedDatabase::Erase(PointId id) {
   // The MBR stays conservative across deletes; Compact() re-tightens it.
   next->shards_[loc.shard].mbr = mbrs_[loc.shard];
   next->stable_limit_ = next_global_;
+  next->version_ = next_version_++;
   PublishLocked(std::move(next));
   return true;
 }
@@ -219,6 +222,7 @@ void ShardedDatabase::Compact() {
     next->shards_[s].mbr = mbrs_[s];
   }
   next->stable_limit_ = next_global_;
+  next->version_ = next_version_++;
   PublishLocked(std::move(next));
 }
 
@@ -241,6 +245,26 @@ std::shared_ptr<const ShardedDatabase::Snapshot> ShardedDatabase::snapshot()
 void ShardedDatabase::PublishLocked(std::shared_ptr<const Snapshot> next) {
   std::lock_guard<std::mutex> lock(mu_);
   current_ = std::move(next);
+}
+
+ShardedDatabase::~ShardedDatabase() = default;
+
+std::vector<PointId> ShardedDatabase::Query(const Polygon& area,
+                                            QueryContext& ctx,
+                                            QueryEngine* scatter_engine)
+    const {
+  return Query(area, ctx, scatter_engine, PlanHints{});
+}
+
+std::vector<PointId> ShardedDatabase::Query(const Polygon& area,
+                                            QueryContext& ctx,
+                                            QueryEngine* scatter_engine,
+                                            const PlanHints& hints) const {
+  std::call_once(planned_once_, [&] {
+    planned_ = std::make_unique<PlannedAreaQuery>(this, scatter_engine,
+                                                  ShardPolicy{});
+  });
+  return planned_->RunPlanned(area, ctx, hints);
 }
 
 }  // namespace vaq

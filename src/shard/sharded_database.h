@@ -13,6 +13,8 @@
 
 namespace vaq {
 
+class QueryEngine;
+
 /// Spatially partitioned database: K shards, each a full
 /// `DynamicPointDatabase` (immutable Hilbert-clustered base + delta buffer
 /// + tombstones + the four query objects), carved by **Hilbert-range
@@ -103,6 +105,11 @@ class ShardedDatabase {
     const std::vector<ShardView>& shards() const { return shards_; }
     /// Exclusive upper bound of every global stable id in this version.
     PointId stable_limit() const { return stable_limit_; }
+    /// Monotonic publication counter: 0 for the initial version, +1 per
+    /// published mutation/compaction — mirrors
+    /// `DynamicPointDatabase::Snapshot::version()` and keys the planner's
+    /// result cache, so any mutation of any shard invalidates for free.
+    std::uint64_t version() const { return version_; }
     /// Live points across all shards in this version.
     std::size_t live_size() const {
       std::size_t n = 0;
@@ -124,6 +131,7 @@ class ShardedDatabase {
     friend class ShardedDatabase;
     std::vector<ShardView> shards_;
     PointId stable_limit_ = 0;
+    std::uint64_t version_ = 0;
   };
 
   /// Partitions `points` into `options.num_shards` Hilbert-range shards.
@@ -136,6 +144,7 @@ class ShardedDatabase {
   explicit ShardedDatabase(std::vector<Point> points)
       : ShardedDatabase(std::move(points), Options{}) {}
   ShardedDatabase(std::vector<Point> points, Options options);
+  ~ShardedDatabase();  // Out of line: `planned_` is incomplete here.
 
   ShardedDatabase(const ShardedDatabase&) = delete;
   ShardedDatabase& operator=(const ShardedDatabase&) = delete;
@@ -160,6 +169,20 @@ class ShardedDatabase {
 
   /// Pins the current cross-shard version. O(1).
   std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Runs one area query through the adaptive planner (see
+  /// `PlannedAreaQuery`): the cost model picks the method per query *and*
+  /// whether to fan the surviving shards out onto `scatter_engine` or run
+  /// them inline; the snapshot-keyed result cache serves repeated
+  /// identical polygons. `scatter_engine` (may be null = always inline)
+  /// and `policy` are fixed at the first call — they configure the
+  /// lazily-built planned query — and must outlive this database.
+  /// Thread-safe like `snapshot()`.
+  std::vector<PointId> Query(const Polygon& area, QueryContext& ctx,
+                             QueryEngine* scatter_engine = nullptr) const;
+  std::vector<PointId> Query(const Polygon& area, QueryContext& ctx,
+                             QueryEngine* scatter_engine,
+                             const PlanHints& hints) const;
 
   /// Total compactions across shards (threshold-triggered + explicit).
   std::uint64_t Compactions() const;
@@ -197,6 +220,12 @@ class ShardedDatabase {
   /// Conservative live-point MBR per shard, mirrored into the views.
   std::vector<Box> mbrs_;
   PointId next_global_ = 0;
+  /// Next snapshot version to publish (guarded by `writer_mu_`).
+  std::uint64_t next_version_ = 1;
+
+  /// Lazily built planner behind `Query` (see `DynamicPointDatabase`).
+  mutable std::once_flag planned_once_;
+  mutable std::unique_ptr<PlannedAreaQuery> planned_;
 };
 
 }  // namespace vaq

@@ -132,11 +132,11 @@ TEST_F(QueryEngineTest, EngineStatsAggregatePerMethod) {
   EXPECT_EQ(stats.methods[vaq_id].name, "voronoi");
   EXPECT_EQ(stats.methods[trad_id].queries, areas.size());
   EXPECT_EQ(stats.methods[vaq_id].queries, areas.size());
-  EXPECT_GT(stats.methods[trad_id].geometry_loads, 0u);
-  EXPECT_GT(stats.methods[vaq_id].neighbor_expansions, 0u);
+  EXPECT_GT(stats.methods[trad_id].totals.geometry_loads, 0u);
+  EXPECT_GT(stats.methods[vaq_id].totals.neighbor_expansions, 0u);
   // The whole point of the paper: fewer candidates on the Voronoi path.
-  EXPECT_LT(stats.methods[vaq_id].candidates,
-            stats.methods[trad_id].candidates);
+  EXPECT_LT(stats.methods[vaq_id].totals.candidates,
+            stats.methods[trad_id].totals.candidates);
 
   engine.ResetStats();
   const EngineStats cleared = engine.Stats();

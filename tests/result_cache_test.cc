@@ -1,0 +1,119 @@
+#include "planner/result_cache.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+
+namespace vaq {
+namespace {
+
+std::shared_ptr<const std::vector<PointId>> Ids(
+    std::initializer_list<PointId> ids) {
+  return std::make_shared<const std::vector<PointId>>(ids);
+}
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon{
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}}};
+}
+
+TEST(HashPolygonBitsTest, StableAndSensitiveToEveryBit) {
+  const Polygon a = Square(0.1, 0.2, 0.3);
+  EXPECT_EQ(HashPolygonBits(a), HashPolygonBits(Square(0.1, 0.2, 0.3)));
+
+  // A one-ulp nudge of a single coordinate must change the hash: the
+  // cache may only hit when a fresh run would be bit-identical, and
+  // degenerate-edge classification can flip on the last bit.
+  Polygon nudged = a;
+  std::vector<Point> vertices(nudged.vertices().begin(),
+                              nudged.vertices().end());
+  vertices[2].x = std::nextafter(vertices[2].x, 2.0);
+  nudged = Polygon{vertices};
+  EXPECT_NE(HashPolygonBits(a), HashPolygonBits(nudged));
+
+  // Same vertex set, rotated start: geometrically identical ring, but
+  // intentionally a different key (edge order affects tie-breaking).
+  const Polygon rotated{
+      {{0.4, 0.2}, {0.4, 0.5}, {0.1, 0.5}, {0.1, 0.2}}};
+  EXPECT_NE(HashPolygonBits(a), HashPolygonBits(rotated));
+}
+
+TEST(HashPolygonBitsTest, VertexCountFeedsTheHash) {
+  // A degenerate extra collinear vertex keeps the shape but must miss.
+  const Polygon tri{{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}}};
+  const Polygon tri4{
+      {{0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}, {0.0, 1.0}}};
+  EXPECT_NE(HashPolygonBits(tri), HashPolygonBits(tri4));
+}
+
+TEST(ResultCacheTest, MissThenHitRoundTrip) {
+  ResultCache cache(4);
+  const ResultCache::Key key{7, 42};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Insert(key, Ids({1, 2, 3}));
+  const auto found = cache.Lookup(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, (std::vector<PointId>{1, 2, 3}));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, VersionIsPartOfTheKey) {
+  // The whole invalidation story: a bumped snapshot version misses even
+  // for the same polygon hash, and the old entry keeps serving readers
+  // still pinned on the old version.
+  ResultCache cache(4);
+  cache.Insert({1, 99}, Ids({10}));
+  EXPECT_EQ(cache.Lookup({2, 99}), nullptr);
+  ASSERT_NE(cache.Lookup({1, 99}), nullptr);
+  cache.Insert({2, 99}, Ids({10, 11}));
+  EXPECT_EQ(cache.Lookup({1, 99})->size(), 1u);
+  EXPECT_EQ(cache.Lookup({2, 99})->size(), 2u);
+}
+
+TEST(ResultCacheTest, LruEvictsTheColdestEntry) {
+  ResultCache cache(2);
+  cache.Insert({1, 1}, Ids({1}));
+  cache.Insert({1, 2}, Ids({2}));
+  // Touch (1,1) so (1,2) is now least recently used.
+  ASSERT_NE(cache.Lookup({1, 1}), nullptr);
+  cache.Insert({1, 3}, Ids({3}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 3}), nullptr);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  cache.Insert({1, 1}, Ids({1}));
+  cache.Insert({1, 1}, Ids({1, 2}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup({1, 1})->size(), 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesEverything) {
+  ResultCache cache(0);
+  cache.Insert({1, 1}, Ids({1}));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+}
+
+TEST(ResultCacheTest, HitHandsBackSharedOwnership) {
+  // An evicted entry's ids survive while a reader still holds them.
+  ResultCache cache(1);
+  cache.Insert({1, 1}, Ids({5, 6}));
+  const auto held = cache.Lookup({1, 1});
+  cache.Insert({1, 2}, Ids({7}));
+  EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(*held, (std::vector<PointId>{5, 6}));
+}
+
+}  // namespace
+}  // namespace vaq

@@ -51,6 +51,19 @@ METHODS = ("traditional", "voronoi")
 FAULT_ZERO_FIELDS = ("io_retries", "pages_quarantined", "shards_failed",
                      "degraded")
 
+# Planner gates (BENCH_planner.json). Within-run ratios, not cross-run
+# times: the bench already divides the planned path's time by the best
+# and worst static method measured in the same process, which cancels
+# host speed entirely — so the bound can be much tighter than --time-tol.
+# auto may pay planning overhead and greedy-exploration wobble but must
+# never pick badly enough to exceed PLANNER_MAX_VS_BEST of the best
+# static choice. The strict "beats the worst static" gate only fires on
+# crossover cells where the statics measurably diverged in the current
+# run (gap >= PLANNER_MIN_STATIC_GAP): below that gap the two statics
+# are within machine noise of each other and "worst" is not meaningful.
+PLANNER_MAX_VS_BEST = 1.8
+PLANNER_MIN_STATIC_GAP = 1.5
+
 # The pread-mode warm/cold throughput ratio of the out-of-core scan bench
 # must stay above this floor: warm hits read a cache frame, cold misses pay
 # a syscall, and the gap collapsing means the cache stopped working. The
@@ -142,6 +155,74 @@ def check_ooc_scan(baseline, new, time_tol, counter_tol, failures):
     return compared
 
 
+def check_planner(baseline, new, failures, max_vs_best=None,
+                  min_static_gap=PLANNER_MIN_STATIC_GAP):
+    """BENCH_planner.json rows: the adaptive planner's acceptance gates.
+
+    Grid rows (keyed by data size, query size, backend) gate on
+    *within-run* ratios — auto vs the statics measured in the same
+    process — so host speed cancels and the bounds stay tight:
+      * mismatches must be 0 (the planned path is differential-exact
+        against the traditional method on every repetition);
+      * auto_vs_best_static <= max_vs_best;
+      * on crossover cells (the winning static flips between backends)
+        where the statics measurably diverged in the current run, auto
+        must beat the worst static outright — a static method pick is
+        wrong on one side of the flip by construction.
+    The cache row gates exactly: hit/miss counters are deterministic by
+    construction (rounds x polygons each) and must equal the baseline;
+    any cached-vs-fresh mismatch is a correctness failure.
+    """
+    if max_vs_best is None:
+        max_vs_best = PLANNER_MAX_VS_BEST
+
+    def grid_key(r):
+        return (r["data_size"], r["query_size_fraction"], r["backend"])
+
+    base_grid = {grid_key(r): r for r in baseline if r["cell"] == "grid"}
+    base_cache = [r for r in baseline if r["cell"] == "cache"]
+    compared = 0
+    for row in new:
+        if row.get("cell") == "grid":
+            if grid_key(row) not in base_grid:
+                continue
+            compared += 1
+            where = "planner[{}/{:g}/{}]".format(*grid_key(row))
+            if row.get("mismatches", 0) != 0:
+                failures.append(
+                    f"{where}: {row['mismatches']} auto-vs-traditional "
+                    f"result mismatch(es) — planned path broke exactness")
+            ratio = row["auto_vs_best_static"]
+            if ratio > max_vs_best:
+                failures.append(
+                    f"{where}: auto_vs_best_static {ratio:.2f} > bound "
+                    f"{max_vs_best:.2f} — the planner picked badly")
+            static_gap = (row["auto_vs_best_static"] /
+                          row["auto_vs_worst_static"]
+                          if row["auto_vs_worst_static"] > 0 else 1.0)
+            if (row.get("crossover") and static_gap >= min_static_gap and
+                    row["auto_vs_worst_static"] >= 1.0):
+                failures.append(
+                    f"{where}: crossover cell with a {static_gap:.2f}x "
+                    f"static gap but auto_vs_worst_static "
+                    f"{row['auto_vs_worst_static']:.2f} >= 1 — auto lost "
+                    f"to a method a static pick gets wrong by construction")
+        elif row.get("cell") == "cache":
+            for base in base_cache:
+                compared += 1
+                for field in ("result_cache_hits", "result_cache_misses"):
+                    if row.get(field) != base.get(field):
+                        failures.append(
+                            f"planner[cache].{field}: {row.get(field)} != "
+                            f"baseline {base.get(field)} — deterministic "
+                            f"cache counters drifted")
+                if row.get("mismatches", 0) != 0:
+                    failures.append(
+                        f"planner[cache]: {row['mismatches']} cached-vs-"
+                        f"fresh mismatch(es) — cache served a wrong result")
+    return compared
+
+
 def check_counter(label, base, new, tol, failures, abs_floor=4.0):
     """Relative-drift gate with a sane zero-baseline regime.
 
@@ -195,6 +276,11 @@ def main():
     elif baseline and baseline[0].get("bench") == "ooc_scan":
         compared = check_ooc_scan(baseline, new, args.time_tol,
                                   args.counter_tol, failures)
+    elif baseline and baseline[0].get("bench") == "planner":
+        # Must dispatch before the micro-flood heuristic: planner grid
+        # rows do carry a "traditional" key, but their gates are
+        # within-run ratios, not cross-run times.
+        compared = check_planner(baseline, new, failures)
     elif baseline and "traditional" not in baseline[0]:
         compared = check_micro_flood(baseline, new, args.time_tol,
                                      args.counter_tol, failures)

@@ -296,5 +296,119 @@ class OocScanTest(unittest.TestCase):
         self.assertIn("cold_ms", result.stdout)
 
 
+class PlannerTest(unittest.TestCase):
+    def grid_row(self, **overrides):
+        row = {
+            "bench": "planner", "cell": "grid", "data_size": 100000,
+            "query_size_fraction": 0.08, "backend": "memory",
+            "simulated_fetch_ns": 0.0, "reps": 12, "crossover": True,
+            "mismatches": 0,
+            "auto": {"time_ms": 1.0, "plan_method": 2, "plan_reason": 1,
+                     "result_cache_hits": 0.0, "result_cache_misses": 12.0},
+            "traditional": {"time_ms": 1.0}, "voronoi": {"time_ms": 2.0},
+            "auto_vs_best_static": 1.0, "auto_vs_worst_static": 0.5,
+        }
+        row.update(overrides)
+        return row
+
+    def cache_row(self, **overrides):
+        row = {
+            "bench": "planner", "cell": "cache", "rounds": 4, "polygons": 8,
+            "result_cache_hits": 32, "result_cache_misses": 32,
+            "mismatches": 0,
+        }
+        row.update(overrides)
+        return row
+
+    run_gate = RowMatchingTest.run_gate
+
+    def test_identical_rows_pass(self):
+        rows = [self.grid_row(), self.cache_row()]
+        result = self.run_gate(rows, rows)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("2 row(s) within tolerance", result.stdout)
+
+    def test_dispatches_to_planner_branch_not_tables(self):
+        # Planner grid rows carry a "traditional" key, so the tables
+        # branch would happily try (and crash on) them — the explicit
+        # bench=="planner" dispatch must win. A within-run ratio far
+        # beyond --time-tol's reach proves the planner gates ran.
+        bad = self.grid_row(auto_vs_best_static=5.0)
+        result = self.run_gate([self.grid_row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("picked badly", result.stdout)
+
+    def test_host_speed_shift_passes(self):
+        # A uniformly 4x slower host changes every absolute time but no
+        # within-run ratio; the planner gates must not care.
+        slow = self.grid_row()
+        slow["auto"] = dict(slow["auto"], time_ms=4.0)
+        slow["traditional"] = {"time_ms": 4.0}
+        slow["voronoi"] = {"time_ms": 8.0}
+        result = self.run_gate([self.grid_row()], [slow])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_mismatch_fails(self):
+        result = self.run_gate([self.grid_row()],
+                               [self.grid_row(mismatches=1)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("exactness", result.stdout)
+
+    def test_crossover_with_diverged_statics_must_beat_worst(self):
+        # best/worst gap here is 2.0x (>= the 1.5x floor) and the row is
+        # a crossover cell, so auto losing to the worst static fails.
+        bad = self.grid_row(auto_vs_best_static=1.7,
+                            auto_vs_worst_static=1.1)
+        # Recompute so the implied gap stays >= the floor: 1.7/1.1 ≈ 1.55.
+        result = self.run_gate([self.grid_row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("auto lost", result.stdout)
+
+    def test_crossover_within_noise_gap_is_not_gated(self):
+        # Statics only 1.2x apart: "worst" is machine noise, the strict
+        # gate must stand down even on a crossover cell.
+        noisy = self.grid_row(auto_vs_best_static=1.3,
+                              auto_vs_worst_static=1.08)
+        result = self.run_gate([self.grid_row()], [noisy])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_non_crossover_cell_skips_worst_static_gate(self):
+        flat = self.grid_row(crossover=False, auto_vs_best_static=1.7,
+                             auto_vs_worst_static=1.1)
+        base = self.grid_row(crossover=False)
+        result = self.run_gate([base], [flat])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_cache_counter_drift_fails_exactly(self):
+        # Hits/misses are rounds x polygons by construction; a single
+        # stray hit means the invalidation keying broke.
+        bad = self.cache_row(result_cache_hits=33)
+        result = self.run_gate([self.cache_row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("cache counters drifted", result.stdout)
+
+    def test_cache_mismatch_fails(self):
+        bad = self.cache_row(mismatches=1)
+        result = self.run_gate([self.cache_row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("wrong result", result.stdout)
+
+    def test_unmatched_grid_cells_are_skipped(self):
+        result = self.run_gate([self.grid_row()],
+                               [self.grid_row(data_size=999)])
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("no comparable rows", result.stdout)
+
+    def test_committed_baseline_passes_against_itself(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_planner.json")
+        if not os.path.exists(path):
+            self.skipTest("no committed BENCH_planner.json")
+        with open(path) as f:
+            rows = json.load(f)
+        result = self.run_gate(rows, rows)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
 if __name__ == "__main__":
     unittest.main()
