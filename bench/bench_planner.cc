@@ -18,14 +18,17 @@
 //    to 0).
 //
 //  * **Cache cell** — a `DynamicPointDatabase` queried with a fixed set
-//    of polygons, each twice per round (first = cold miss, second = hit
-//    served from the snapshot-keyed result cache), across rounds
-//    separated by an Insert / Erase / Compact (each bumps the snapshot
-//    version, so every round re-misses: COW publication *is* the
-//    invalidation). Counters are exact by construction — rounds x
-//    polygons misses, the same number of hits — and gated exactly in CI;
-//    every answer (cached or not) is compared against an uncached run of
-//    the same planned path.
+//    of polygons, each twice per round, across rounds separated by an
+//    Insert / Erase / Compact (each bumps the snapshot version, so every
+//    round re-misses: COW publication *is* the invalidation). Second-hit
+//    admission shapes round 0: a first-seen polygon's first execution is
+//    declined (hash recorded, ids dropped) and its second execution is
+//    stored, so round 0 is 2 misses/polygon with no hits; later rounds
+//    are 1 miss (new version, admitted immediately — the hash is known)
+//    + 1 hit per polygon. Counters are exact by construction —
+//    (rounds + 1) x polygons misses, (rounds - 1) x polygons hits — and
+//    gated exactly in CI; every answer (cached or not) is compared
+//    against an uncached run of the same planned path.
 //
 // Usage: bench_planner [--quick] [--json] [--check]
 //   --quick: fewer repetitions, same cell grid (rows key-match the
@@ -226,9 +229,12 @@ int main(int argc, char** argv) {
       if (first != fresh || second != fresh) ++cache_mismatches;
     }
   }
-  const std::uint64_t expected = 4ull * kCachePolygons;
-  std::cout << "cache: hits " << cache_hits << "/" << expected
-            << "  misses " << cache_misses << "/" << expected
+  // 4 rounds x 2 executions: round 0 is miss+miss (second-hit admission
+  // declines the first-seen execution), rounds 1-3 are miss+hit each.
+  const std::uint64_t expected_hits = 3ull * kCachePolygons;
+  const std::uint64_t expected_misses = 5ull * kCachePolygons;
+  std::cout << "cache: hits " << cache_hits << "/" << expected_hits
+            << "  misses " << cache_misses << "/" << expected_misses
             << "  mismatches " << cache_mismatches << "\n";
   total_mismatches += cache_mismatches;
 
@@ -268,12 +274,12 @@ int main(int argc, char** argv) {
   }
 
   if (check) {
-    if (total_mismatches > 0 || cache_hits != expected ||
-        cache_misses != expected) {
+    if (total_mismatches > 0 || cache_hits != expected_hits ||
+        cache_misses != expected_misses) {
       std::cerr << "CHECK FAILED: mismatches=" << total_mismatches
-                << " cache_hits=" << cache_hits
-                << " cache_misses=" << cache_misses << " (expected "
-                << expected << " each)\n";
+                << " cache_hits=" << cache_hits << " (expected "
+                << expected_hits << ") cache_misses=" << cache_misses
+                << " (expected " << expected_misses << ")\n";
       return 1;
     }
     std::cout << "check passed\n";

@@ -280,10 +280,14 @@ std::vector<PointId> DynamicPointDatabase::Query(const Polygon& area,
 
 std::vector<PointId> DynamicPointDatabase::Query(
     const Polygon& area, QueryContext& ctx, const PlanHints& hints) const {
+  return PlannedQuery()->RunPlanned(area, ctx, hints);
+}
+
+const PlannedAreaQuery* DynamicPointDatabase::PlannedQuery() const {
   std::call_once(planned_once_, [this] {
     planned_ = std::make_unique<PlannedAreaQuery>(this);
   });
-  return planned_->RunPlanned(area, ctx, hints);
+  return planned_.get();
 }
 
 }  // namespace vaq

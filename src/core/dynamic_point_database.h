@@ -285,6 +285,15 @@ class DynamicPointDatabase {
   std::vector<PointId> Query(const Polygon& area, QueryContext& ctx,
                              const PlanHints& hints) const;
 
+  /// The lazily-built planned query behind `Query`, as a registrable
+  /// `AreaQuery`. This is how engine/server traffic routes through the
+  /// planner instead of around it: `engine.RegisterMethod(db.PlannedQuery())`
+  /// makes every `Submit`/`RunBatch` of that method plan, feed the EWMAs
+  /// and hit the result cache — per-submission `SubmitOptions::hints`
+  /// included. Same instance `Query` uses; valid for this database's
+  /// lifetime.
+  const PlannedAreaQuery* PlannedQuery() const;
+
   /// Geometry of the live point with stable id `id`, if any.
   ///
   /// Like the introspection accessors below, this reads the mutator-side

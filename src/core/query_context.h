@@ -14,6 +14,8 @@
 
 namespace vaq {
 
+struct PlanHints;
+
 /// Per-thread scratch arena for area-query execution.
 ///
 /// Query objects (`AreaQuery` implementations) are stateless and therefore
@@ -47,6 +49,16 @@ class QueryContext {
   void CheckCancelled() const {
     if (cancel_ != nullptr) cancel_->Check();
   }
+
+  // -- Planner hints --------------------------------------------------------
+
+  /// Hints of the query currently executing on this context, or null (the
+  /// default — fully automatic planning). Set by the engine worker around
+  /// each task, exactly like the cancel token: this is how per-submission
+  /// `SubmitOptions::hints` reach `PlannedAreaQuery::Run` through the
+  /// hint-less `AreaQuery` interface the engine dispatches on. Not owned.
+  void set_plan_hints(const PlanHints* hints) { plan_hints_ = hints; }
+  const PlanHints* plan_hints() const { return plan_hints_; }
 
   // -- Epoch-marked visited set -------------------------------------------
   //
@@ -212,6 +224,7 @@ class QueryContext {
 
  private:
   const CancelToken* cancel_ = nullptr;
+  const PlanHints* plan_hints_ = nullptr;
   std::vector<std::uint32_t> visited_;
   std::uint32_t epoch_ = 0;
   std::vector<PointId> queue_;

@@ -99,6 +99,7 @@ std::future<QueryResult> QueryEngine::Submit(Polygon area, int method,
   task.method = method;
   task.submitted = std::chrono::steady_clock::now();
   task.cancel = std::move(opts.cancel);
+  task.hints = opts.hints;
   if (opts.deadline_ms > 0.0) {
     // The deadline clock starts at submission, so queue wait counts
     // against it — an overloaded engine fails stale queued work fast
@@ -150,12 +151,15 @@ void QueryEngine::WorkerLoop(WorkerState* state) {
       // run entirely is what lets an overloaded engine shed stale work.
       if (task->cancel != nullptr) task->cancel->Check();
       state->ctx.set_cancel(task->cancel.get());
+      state->ctx.set_plan_hints(&task->hints);
       result.ids = task->query->Run(task->area, state->ctx);
       state->ctx.set_cancel(nullptr);
+      state->ctx.set_plan_hints(nullptr);
     } catch (...) {
       // A throwing query must not take down the pool (std::terminate) or
       // strand the caller on an unset future.
       state->ctx.set_cancel(nullptr);
+      state->ctx.set_plan_hints(nullptr);
       task->promise.set_exception(std::current_exception());
       continue;
     }

@@ -17,6 +17,7 @@
 #include "engine/bounded_queue.h"
 #include "engine/errors.h"
 #include "geometry/polygon.h"
+#include "planner/query_plan.h"
 
 namespace vaq {
 
@@ -44,6 +45,12 @@ struct SubmitOptions {
   /// `Cancel()` it anytime; the query observes it at its next block
   /// boundary. Created internally when only a deadline is requested.
   std::shared_ptr<CancelToken> cancel;
+  /// Planner hints of this submission (forced method, cache/scatter
+  /// opt-outs). The worker installs them on its `QueryContext` around the
+  /// task — like the cancel token — so a registered `PlannedAreaQuery`
+  /// picks them up through the hint-less `AreaQuery::Run` interface.
+  /// Ignored by the fixed-method query objects. Defaults = automatic.
+  PlanHints hints{};
 };
 
 /// Outcome of one engine-executed query.
@@ -184,6 +191,8 @@ class QueryEngine {
     /// Deadline/cancellation handle (null = none). Shared: the submitter
     /// may hold it to cancel, the worker polls it during execution.
     std::shared_ptr<CancelToken> cancel;
+    /// Planner hints, installed on the worker context around the run.
+    PlanHints hints{};
     std::promise<QueryResult> promise;
   };
 

@@ -1,0 +1,210 @@
+#include "geometry/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace vaq {
+
+namespace {
+
+/// Cursor over the WKT input; every helper reports positions for error
+/// offsets and never reads past `size()`.
+struct Cursor {
+  std::string_view in;
+  std::size_t at = 0;
+
+  bool Done() const { return at >= in.size(); }
+  char Peek() const { return in[at]; }
+  void SkipSpace() {
+    while (at < in.size() &&
+           std::isspace(static_cast<unsigned char>(in[at]))) {
+      ++at;
+    }
+  }
+  bool Consume(char c) {
+    if (at < in.size() && in[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+};
+
+[[noreturn]] void Fail(WktParseError::Kind kind, std::size_t offset,
+                       const std::string& what) {
+  throw WktParseError(kind, offset, what);
+}
+
+/// Parses one double token at the cursor. `std::from_chars` accepts the
+/// WKT numeric grammar (fixed or scientific, optional sign) and nothing
+/// else — no locale, no hex floats via the default chars_format, no
+/// leading whitespace — so the token boundary is exact.
+double ParseCoordinate(Cursor& c, const char* axis) {
+  c.SkipSpace();
+  if (c.Done()) {
+    Fail(WktParseError::Kind::kTruncated, c.at,
+         std::string("input ended where a ") + axis +
+             " coordinate was expected");
+  }
+  double value = 0.0;
+  const char* first = c.in.data() + c.at;
+  const char* last = c.in.data() + c.in.size();
+  const std::from_chars_result r = std::from_chars(first, last, value);
+  if (r.ec == std::errc::result_out_of_range) {
+    // Well-formed number, value outside double range (e.g. 1e999): the
+    // client meant a number, it just is not representable finitely.
+    Fail(WktParseError::Kind::kNonFinite, c.at,
+         std::string(axis) + " coordinate overflows a double");
+  }
+  if (r.ec != std::errc{} || r.ptr == first) {
+    Fail(WktParseError::Kind::kBadNumber, c.at,
+         std::string("malformed ") + axis + " coordinate");
+  }
+  if (!std::isfinite(value)) {
+    Fail(WktParseError::Kind::kNonFinite, c.at,
+         std::string(axis) + " coordinate is not finite");
+  }
+  c.at = static_cast<std::size_t>(r.ptr - c.in.data());
+  return value;
+}
+
+/// Case-insensitive keyword match at the cursor, consuming it on success.
+bool ConsumeKeyword(Cursor& c, std::string_view keyword) {
+  c.SkipSpace();
+  if (c.in.size() - c.at < keyword.size()) return false;
+  for (std::size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(c.in[c.at + i])) !=
+        keyword[i]) {
+      return false;
+    }
+  }
+  c.at += keyword.size();
+  return true;
+}
+
+}  // namespace
+
+WktParseError::WktParseError(Kind kind, std::size_t offset,
+                             const std::string& what)
+    : std::runtime_error("WKT parse error at byte " + std::to_string(offset) +
+                         " (" + std::string(WktErrorKindName(kind)) + "): " +
+                         what),
+      kind_(kind),
+      offset_(offset) {}
+
+std::string_view WktErrorKindName(WktParseError::Kind k) {
+  switch (k) {
+    case WktParseError::Kind::kBadGeometryType:
+      return "bad-geometry-type";
+    case WktParseError::Kind::kTruncated:
+      return "truncated";
+    case WktParseError::Kind::kBadNumber:
+      return "bad-number";
+    case WktParseError::Kind::kNonFinite:
+      return "non-finite";
+    case WktParseError::Kind::kUnclosedRing:
+      return "unclosed-ring";
+    case WktParseError::Kind::kTooFewVertices:
+      return "too-few-vertices";
+    case WktParseError::Kind::kTooManyVertices:
+      return "too-many-vertices";
+    case WktParseError::Kind::kInnerRings:
+      return "inner-rings";
+    case WktParseError::Kind::kTrailingGarbage:
+      break;
+  }
+  return "trailing-garbage";
+}
+
+Polygon ParseWktPolygon(std::string_view wkt, std::size_t max_vertices) {
+  Cursor c{wkt};
+  if (!ConsumeKeyword(c, "POLYGON")) {
+    Fail(WktParseError::Kind::kBadGeometryType, c.at,
+         "expected a POLYGON geometry tag");
+  }
+  c.SkipSpace();
+  if (ConsumeKeyword(c, "EMPTY")) {
+    Fail(WktParseError::Kind::kTooFewVertices, c.at,
+         "POLYGON EMPTY holds no query area");
+  }
+  if (!c.Consume('(')) {
+    Fail(c.Done() ? WktParseError::Kind::kTruncated
+                  : WktParseError::Kind::kBadGeometryType,
+         c.at, "expected '(' opening the ring list");
+  }
+  c.SkipSpace();
+  if (!c.Consume('(')) {
+    Fail(c.Done() ? WktParseError::Kind::kTruncated
+                  : WktParseError::Kind::kBadGeometryType,
+         c.at, "expected '(' opening the outer ring");
+  }
+
+  // One ring of "x y" pairs separated by commas. The bound is enforced
+  // as each vertex is parsed — before it is appended — so a hostile
+  // vertex count can never drive the reserve/push_back growth past
+  // max_vertices + 1 entries, however long the input claims to be.
+  std::vector<Point> ring;
+  while (true) {
+    if (ring.size() > max_vertices) {
+      Fail(WktParseError::Kind::kTooManyVertices, c.at,
+           "ring exceeds the " + std::to_string(max_vertices) +
+               "-vertex bound");
+    }
+    const double x = ParseCoordinate(c, "x");
+    const double y = ParseCoordinate(c, "y");
+    ring.push_back(Point{x, y});
+    c.SkipSpace();
+    if (c.Consume(',')) continue;
+    if (c.Consume(')')) break;
+    Fail(c.Done() ? WktParseError::Kind::kTruncated
+                  : WktParseError::Kind::kBadNumber,
+         c.at, "expected ',' or ')' after a vertex");
+  }
+
+  // WKT closes rings explicitly: the last vertex repeats the first. The
+  // repeat is required (kUnclosedRing otherwise) and then dropped —
+  // `Polygon` stores the open ring with an implicit closing edge.
+  if (ring.size() < 2 || ring.front() != ring.back()) {
+    Fail(WktParseError::Kind::kUnclosedRing, c.at,
+         "ring does not repeat its first vertex last");
+  }
+  ring.pop_back();
+  if (ring.size() < 3) {
+    Fail(WktParseError::Kind::kTooFewVertices, c.at,
+         "ring holds fewer than 3 distinct vertices");
+  }
+
+  c.SkipSpace();
+  if (c.Consume(',')) {
+    Fail(WktParseError::Kind::kInnerRings, c.at,
+         "POLYGON holds inner rings; query areas are single simple rings");
+  }
+  if (!c.Consume(')')) {
+    Fail(WktParseError::Kind::kTruncated, c.at,
+         "expected ')' closing the ring list");
+  }
+  c.SkipSpace();
+  if (!c.Done()) {
+    Fail(WktParseError::Kind::kTrailingGarbage, c.at,
+         "unexpected bytes after the geometry");
+  }
+  return Polygon{std::move(ring)};
+}
+
+std::string ToWkt(const Polygon& area) {
+  std::ostringstream out;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "POLYGON ((";
+  for (std::size_t i = 0; i < area.size(); ++i) {
+    out << area.vertex(i).x << ' ' << area.vertex(i).y << ", ";
+  }
+  // Close the ring per the WKT convention: first vertex repeated last.
+  out << area.vertex(0).x << ' ' << area.vertex(0).y << "))";
+  return out.str();
+}
+
+}  // namespace vaq

@@ -1,0 +1,83 @@
+#ifndef VAQ_GEOMETRY_WKT_H_
+#define VAQ_GEOMETRY_WKT_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "geometry/polygon.h"
+
+namespace vaq {
+
+/// Thrown by `ParseWktPolygon` on any malformed input. WKT arrives over
+/// the network from untrusted clients (see `src/server/`), so — like the
+/// `.vpag` reader's `PageFileError` — every failure mode carries a typed
+/// kind: the server maps kinds to wire error codes, tests assert the
+/// exact kind per corpus case, and nothing string-matches messages.
+class WktParseError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kBadGeometryType,  // Tag is not POLYGON (POINT, LINESTRING, junk, ...)
+    kTruncated,        // Input ended mid-geometry (missing ring, paren,
+                       // coordinate, or closing parenthesis)
+    kBadNumber,        // A coordinate token failed to parse as a double
+    kNonFinite,        // A coordinate parsed to NaN or +/-Inf
+    kUnclosedRing,     // Last vertex of the ring != first vertex
+    kTooFewVertices,   // Ring holds < 3 distinct vertices
+    kTooManyVertices,  // Ring exceeds the caller's vertex bound — checked
+                       // per token, *before* any proportional allocation
+    kInnerRings,       // POLYGON with holes; this library's areas are
+                       // single simple rings
+    kTrailingGarbage,  // Valid polygon followed by non-space bytes
+  };
+
+  WktParseError(Kind kind, std::size_t offset, const std::string& what);
+
+  Kind kind() const { return kind_; }
+  /// Byte offset into the input where the violation was detected; points
+  /// the client at its own bug without echoing attacker bytes back.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  Kind kind_;
+  std::size_t offset_;
+};
+
+/// Stable lowercase name of `k` for logs and error responses.
+std::string_view WktErrorKindName(WktParseError::Kind k);
+
+/// Default `max_vertices` bound of `ParseWktPolygon`: generous for any
+/// real query area, small enough that a hostile ring can never drive a
+/// proportional allocation (64k vertices = 1 MiB of coordinates).
+inline constexpr std::size_t kDefaultMaxWktVertices = 1 << 16;
+
+/// Parses a WKT `POLYGON ((x y, x y, ...))` into a `Polygon`.
+///
+/// Defensive by construction — the input is untrusted:
+///  * the vertex count is bounded per parsed token, so memory use is
+///    O(min(input, max_vertices)) before validation ever completes;
+///  * coordinates must be finite (a NaN vertex could otherwise crash the
+///    query stack far from the parse site);
+///  * the WKT closing convention is enforced (first vertex repeated as
+///    the last) and the repeated vertex is dropped — `Polygon` stores an
+///    open ring with an implicit closing edge;
+///  * inner rings (holes) and non-POLYGON tags are rejected with their
+///    own kinds, as is any trailing non-whitespace after the geometry.
+///
+/// The tag match is case-insensitive and `EMPTY` polygons are rejected
+/// (`kTooFewVertices` — an area query over nothing is a client bug, not
+/// a degenerate success). Ring simplicity is NOT validated here (it is
+/// O(m^2); `Polygon::IsSimple` exists for callers that must check).
+Polygon ParseWktPolygon(std::string_view wkt,
+                        std::size_t max_vertices = kDefaultMaxWktVertices);
+
+/// Formats `area` as `POLYGON ((x y, ..., x y))` with round-trip-exact
+/// coordinates (max_digits10): `ParseWktPolygon(ToWkt(p))` reproduces
+/// every vertex bit for bit, which is what lets the client CLI and the
+/// loopback tests speak WKT without perturbing cache keys.
+std::string ToWkt(const Polygon& area);
+
+}  // namespace vaq
+
+#endif  // VAQ_GEOMETRY_WKT_H_

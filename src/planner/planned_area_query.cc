@@ -152,7 +152,13 @@ QueryPlan PlannedAreaQuery::PlanFor(const Polygon& area,
 
 std::vector<PointId> PlannedAreaQuery::Run(const Polygon& area,
                                            QueryContext& ctx) const {
-  return RunPlanned(area, ctx, PlanHints{});
+  // The hint-less `AreaQuery` entry point — what `QueryEngine` dispatches
+  // on. Per-submission hints ride in on the context (installed by the
+  // engine worker around the task, see `SubmitOptions::hints`), so
+  // engine-routed traffic plans, learns and caches exactly like a direct
+  // `RunPlanned` call instead of bypassing the planner.
+  const PlanHints* hints = ctx.plan_hints();
+  return RunPlanned(area, ctx, hints != nullptr ? *hints : PlanHints{});
 }
 
 std::vector<PointId> PlannedAreaQuery::RunPlanned(

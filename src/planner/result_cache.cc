@@ -41,10 +41,27 @@ void ResultCache::Insert(const Key& key,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    ++admitted_;
     it->second->ids = std::move(ids);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
+  // Second-hit admission: a hash never offered before is recorded and
+  // declined — one-shot polygons pay 8 bytes of admission memory, not a
+  // cache slot (and not an eviction of a proven repeater).
+  const auto seen = seen_index_.find(key.polygon_hash);
+  if (seen == seen_index_.end()) {
+    ++declined_;
+    seen_lru_.push_front(key.polygon_hash);
+    seen_index_.emplace(key.polygon_hash, seen_lru_.begin());
+    while (seen_lru_.size() > seen_capacity_) {
+      seen_index_.erase(seen_lru_.back());
+      seen_lru_.pop_back();
+    }
+    return;
+  }
+  ++admitted_;
+  seen_lru_.splice(seen_lru_.begin(), seen_lru_, seen->second);
   lru_.push_front(Entry{key, std::move(ids)});
   index_.emplace(key, lru_.begin());
   while (lru_.size() > capacity_) {
@@ -61,6 +78,16 @@ std::uint64_t ResultCache::hits() const {
 std::uint64_t ResultCache::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+std::uint64_t ResultCache::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+std::uint64_t ResultCache::declined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return declined_;
 }
 
 std::size_t ResultCache::size() const {

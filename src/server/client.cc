@@ -1,0 +1,177 @@
+#include "server/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace vaq {
+
+namespace {
+
+void ReadExact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) throw std::runtime_error("server closed the connection");
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("read failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+void WriteExact(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a server that closed on us surfaces as EPIPE (and a
+    // typed exception), not a process-wide SIGPIPE.
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("write failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+QueryClient::QueryClient(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+QueryClient::~QueryClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void QueryClient::SendFrame(Opcode opcode,
+                            std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  AppendFrame(frame, opcode, payload);
+  WriteExact(fd_, frame.data(), frame.size());
+}
+
+QueryClient::Frame QueryClient::ReadFrame() {
+  std::uint8_t header[kFrameHeaderBytes];
+  ReadExact(fd_, header, sizeof(header));
+  // The client holds the server to the same framing discipline the
+  // server holds clients to (throws ProtocolError on violations).
+  const FrameHeader fh = DecodeFrameHeader({header, sizeof(header)});
+  if (!IsResponseOpcode(static_cast<std::uint8_t>(fh.opcode))) {
+    throw ProtocolError(ProtocolError::Kind::kBadOpcode,
+                        "request opcode in a response frame");
+  }
+  Frame frame{fh.opcode, std::vector<std::uint8_t>(fh.payload_len)};
+  if (fh.payload_len > 0) {
+    ReadExact(fd_, frame.payload.data(), frame.payload.size());
+  }
+  return frame;
+}
+
+QueryClient::Frame QueryClient::Expect(Opcode expected) {
+  Frame frame = ReadFrame();
+  if (frame.opcode == Opcode::kError) {
+    const WireError e = DecodeErrorPayload(frame.payload);
+    throw ServerError(e.code, e.detail);
+  }
+  if (frame.opcode != expected &&
+      !(expected == Opcode::kQueryDone &&
+        frame.opcode == Opcode::kResultIds)) {
+    throw std::runtime_error("unexpected response opcode");
+  }
+  return frame;
+}
+
+QueryClient::QueryOutcome QueryClient::Query(const WireQueryRequest& req) {
+  SendFrame(Opcode::kQuery, EncodeQueryRequest(req));
+  QueryOutcome outcome;
+  for (;;) {
+    Frame frame = Expect(Opcode::kQueryDone);
+    if (frame.opcode == Opcode::kResultIds) {
+      const std::vector<PointId> chunk = DecodeResultIdsPayload(frame.payload);
+      outcome.ids.insert(outcome.ids.end(), chunk.begin(), chunk.end());
+      continue;
+    }
+    outcome.stats = DecodeQueryStatsPayload(frame.payload);
+    break;
+  }
+  if (outcome.stats.results != outcome.ids.size()) {
+    throw std::runtime_error(
+        "result count mismatch between id frames and the summary");
+  }
+  return outcome;
+}
+
+QueryClient::QueryOutcome QueryClient::Query(std::string_view wkt) {
+  WireQueryRequest req;
+  req.wkt = std::string(wkt);
+  return Query(req);
+}
+
+WireMutationResult QueryClient::Insert(double x, double y) {
+  SendFrame(Opcode::kInsert, EncodeInsertRequest(x, y));
+  return DecodeMutationPayload(Expect(Opcode::kMutated).payload);
+}
+
+WireMutationResult QueryClient::Erase(PointId id) {
+  SendFrame(Opcode::kErase, EncodeEraseRequest(id));
+  return DecodeMutationPayload(Expect(Opcode::kMutated).payload);
+}
+
+WireMutationResult QueryClient::Compact() {
+  SendFrame(Opcode::kCompact, {});
+  return DecodeMutationPayload(Expect(Opcode::kMutated).payload);
+}
+
+WireServerStats QueryClient::Stats() {
+  SendFrame(Opcode::kStats, {});
+  return DecodeServerStatsPayload(Expect(Opcode::kStatsReply).payload);
+}
+
+bool QueryClient::Ping() {
+  const std::uint8_t nonce[4] = {0xde, 0xad, 0xbe, 0xef};
+  SendFrame(Opcode::kPing, nonce);
+  const Frame frame = Expect(Opcode::kPong);
+  return frame.payload.size() == sizeof(nonce) &&
+         std::memcmp(frame.payload.data(), nonce, sizeof(nonce)) == 0;
+}
+
+std::vector<std::uint8_t> QueryClient::RoundTripRaw(
+    std::span<const std::uint8_t> bytes) {
+  WriteExact(fd_, bytes.data(), bytes.size());
+  std::vector<std::uint8_t> out(kFrameHeaderBytes);
+  ReadExact(fd_, out.data(), kFrameHeaderBytes);
+  const FrameHeader fh = DecodeFrameHeader({out.data(), kFrameHeaderBytes});
+  out.resize(kFrameHeaderBytes + fh.payload_len);
+  if (fh.payload_len > 0) {
+    ReadExact(fd_, out.data() + kFrameHeaderBytes, fh.payload_len);
+  }
+  return out;
+}
+
+}  // namespace vaq

@@ -260,11 +260,16 @@ std::vector<PointId> ShardedDatabase::Query(const Polygon& area,
                                             QueryContext& ctx,
                                             QueryEngine* scatter_engine,
                                             const PlanHints& hints) const {
+  return PlannedQuery(scatter_engine)->RunPlanned(area, ctx, hints);
+}
+
+const PlannedAreaQuery* ShardedDatabase::PlannedQuery(
+    QueryEngine* scatter_engine) const {
   std::call_once(planned_once_, [&] {
     planned_ = std::make_unique<PlannedAreaQuery>(this, scatter_engine,
                                                   ShardPolicy{});
   });
-  return planned_->RunPlanned(area, ctx, hints);
+  return planned_.get();
 }
 
 }  // namespace vaq

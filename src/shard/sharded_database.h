@@ -184,6 +184,16 @@ class ShardedDatabase {
                              QueryEngine* scatter_engine,
                              const PlanHints& hints) const;
 
+  /// The lazily-built planned query behind `Query`, as a registrable
+  /// `AreaQuery` — see `DynamicPointDatabase::PlannedQuery`. Like `Query`,
+  /// `scatter_engine` configures the planned query at the *first* call
+  /// (later arguments are ignored) and must outlive this database. Note a
+  /// planned sharded query may scatter onto that engine: registering it
+  /// on the same engine is safe only because `ShardedAreaQuery` falls
+  /// back to inline legs on a worker thread (the self-submission guard).
+  const PlannedAreaQuery* PlannedQuery(
+      QueryEngine* scatter_engine = nullptr) const;
+
   /// Total compactions across shards (threshold-triggered + explicit).
   std::uint64_t Compactions() const;
 

@@ -1,0 +1,130 @@
+// Regression tests for ROADMAP 4c: engine traffic must feed the planner.
+// `QueryEngine::Submit`/`RunBatch` against a registered
+// `DynamicPointDatabase::PlannedQuery()` routes through `PlannedAreaQuery`
+// — planning each query, updating the EWMAs, and using the result cache —
+// instead of bypassing the planner the way registered fixed-method
+// objects do. Before the fix, batch/server traffic taught the planner
+// nothing: `observations()` stayed 0 and every plan stayed on the seed
+// model forever.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_point_database.h"
+#include "engine/query_engine.h"
+#include "planner/planned_area_query.h"
+#include "workload/point_generator.h"
+#include "workload/polygon_generator.h"
+#include "workload/rng.h"
+
+namespace vaq {
+namespace {
+
+constexpr Box kUnit = Box{{0.0, 0.0}, {1.0, 1.0}};
+
+std::vector<Polygon> FixedAreas(std::uint64_t seed, int count, double size) {
+  Rng rng(seed);
+  PolygonSpec spec;
+  spec.query_size_fraction = size;
+  std::vector<Polygon> areas;
+  for (int i = 0; i < count; ++i) {
+    areas.push_back(GenerateQueryPolygon(spec, kUnit, &rng));
+  }
+  return areas;
+}
+
+TEST(EnginePlannerLearningTest, RunBatchFeedsThePlannerEwmas) {
+  Rng rng(2026);
+  DynamicPointDatabase db(GenerateUniformPoints(5000, kUnit, &rng));
+  QueryEngine engine({.num_threads = 2});
+  const int planned = engine.RegisterMethod(db.PlannedQuery());
+
+  const std::vector<Polygon> areas = FixedAreas(13, 16, 0.1);
+  ASSERT_EQ(db.PlannedQuery()->planner().observations(), 0u);
+
+  // Warm batch: every query is a cache miss (distinct polygons, and
+  // second-hit admission declines first-seen hashes), so every query
+  // executes and must observe — 16 engine queries, 16 observations.
+  const std::vector<QueryResult> first = engine.RunBatch(areas, planned);
+  EXPECT_EQ(db.PlannedQuery()->planner().observations(), areas.size())
+      << "engine batch traffic bypassed the planner (ROADMAP 4c)";
+
+  // Differential: the engine-planned answers equal the in-process path.
+  // (These uncached runs execute too, so they observe as well: the
+  // planner counter below accounts for them.)
+  QueryContext ctx;
+  PlanHints uncached;
+  uncached.use_cache = false;
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(first[i].ids, db.Query(areas[i], ctx, uncached));
+    EXPECT_NE(first[i].stats.plan_method, 0u)
+        << "a planned engine query must record its method";
+  }
+  ASSERT_EQ(db.PlannedQuery()->planner().observations(), 2 * areas.size());
+
+  // Second pass over the same polygons: still misses (the cache admits
+  // each hash on this second offer), still executions, and by now the
+  // visited (method, bucket) slots have data — learned corrections must
+  // show up in plan_reason. The engine's per-method totals OR the bits,
+  // so one aggregate check covers the batch.
+  const std::vector<QueryResult> second = engine.RunBatch(areas, planned);
+  EXPECT_EQ(db.PlannedQuery()->planner().observations(), 3 * areas.size());
+  std::uint64_t reason_union = 0;
+  for (const QueryResult& r : second) reason_union |= r.stats.plan_reason;
+  EXPECT_TRUE(reason_union & plan_reason::kLearnedModel)
+      << "after a warm batch the planner must plan from learned EWMAs";
+  const EngineStats stats = engine.Stats();
+  ASSERT_EQ(stats.methods.size(), 1u);
+  EXPECT_TRUE(stats.methods[0].totals.plan_reason & plan_reason::kLearnedModel)
+      << "engine per-method totals must carry the learned-model bit";
+
+  // Third pass: the snapshot never changed, every hash is now resident —
+  // served from the cache without executing (observations stay put).
+  const std::vector<QueryResult> third = engine.RunBatch(areas, planned);
+  EXPECT_EQ(db.PlannedQuery()->planner().observations(), 3 * areas.size())
+      << "cache hits must not observe (nothing ran)";
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(third[i].stats.result_cache_hits, 1u);
+    EXPECT_EQ(third[i].ids, first[i].ids);
+  }
+}
+
+TEST(EnginePlannerLearningTest, SubmitHintsReachThePlan) {
+  Rng rng(7);
+  DynamicPointDatabase db(GenerateUniformPoints(3000, kUnit, &rng));
+  QueryEngine engine({.num_threads = 1});
+  const int planned = engine.RegisterMethod(db.PlannedQuery());
+  const Polygon area = FixedAreas(3, 1, 0.15)[0];
+
+  // A forced method travels through SubmitOptions::hints onto the worker
+  // context: the plan records kForced and executes exactly that method.
+  SubmitOptions opts;
+  opts.hints.force_method = DynamicMethod::kGridSweep;
+  opts.hints.use_cache = false;
+  QueryResult forced = engine.Submit(area, planned, opts).get();
+  EXPECT_TRUE(forced.stats.plan_reason & plan_reason::kForced);
+  EXPECT_EQ(forced.stats.plan_method, MethodBit(DynamicMethod::kGridSweep));
+  EXPECT_EQ(forced.stats.result_cache_hits + forced.stats.result_cache_misses,
+            0u)
+      << "use_cache=false must bypass the cache entirely";
+
+  // The forced execution observed its slot; the next forced plan for the
+  // same bucket must be learned (kForced considers only that slot, so
+  // this is deterministic, not greedy-exploration luck).
+  QueryResult again = engine.Submit(area, planned, opts).get();
+  EXPECT_TRUE(again.stats.plan_reason & plan_reason::kLearnedModel)
+      << "forced slot was observed once; the re-plan must be learned";
+  EXPECT_EQ(again.ids, forced.ids);
+
+  // Hints are per-submission, not sticky: a hint-less Submit plans
+  // automatically (no kForced) and uses the cache.
+  QueryResult plain = engine.Submit(area, planned).get();
+  EXPECT_FALSE(plain.stats.plan_reason & plan_reason::kForced);
+  EXPECT_EQ(plain.stats.result_cache_misses, 1u);
+  EXPECT_EQ(plain.ids, forced.ids);
+}
+
+}  // namespace
+}  // namespace vaq

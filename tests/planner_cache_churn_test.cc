@@ -110,9 +110,14 @@ TEST(PlannerCacheChurnTest, EveryMutationKindInvalidates) {
   QueryContext ctx;
 
   // Prime the cache, then make each mutation kind and require a re-miss
-  // with the updated answer.
+  // with the updated answer. Second-hit admission means the first
+  // execution of a never-seen polygon is declined (its hash is merely
+  // recorded), the second execution is stored, the third hits.
   std::vector<PointId> before = db.Query(area, ctx);
   EXPECT_EQ(ctx.stats.result_cache_misses, 1u);
+  db.Query(area, ctx);
+  EXPECT_EQ(ctx.stats.result_cache_misses, 1u)
+      << "a first-seen polygon must not be cached by its first execution";
   db.Query(area, ctx);
   EXPECT_EQ(ctx.stats.result_cache_hits, 1u);
 

@@ -21,6 +21,14 @@ Polygon Square(double x0, double y0, double side) {
       {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}}};
 }
 
+/// Stores an entry past second-hit admission: the first offer of a hash
+/// is declined by design, the second is admitted.
+void Admit(ResultCache& cache, const ResultCache::Key& key,
+           std::shared_ptr<const std::vector<PointId>> ids) {
+  cache.Insert(key, ids);
+  cache.Insert(key, std::move(ids));
+}
+
 TEST(HashPolygonBitsTest, StableAndSensitiveToEveryBit) {
   const Polygon a = Square(0.1, 0.2, 0.3);
   EXPECT_EQ(HashPolygonBits(a), HashPolygonBits(Square(0.1, 0.2, 0.3)));
@@ -50,17 +58,40 @@ TEST(HashPolygonBitsTest, VertexCountFeedsTheHash) {
   EXPECT_NE(HashPolygonBits(tri), HashPolygonBits(tri4));
 }
 
-TEST(ResultCacheTest, MissThenHitRoundTrip) {
+TEST(ResultCacheTest, FirstOfferIsDeclinedSecondIsAdmitted) {
+  // Second-hit admission: a never-seen polygon hash is recorded and its
+  // ids dropped — a scan of one-shot polygons must not occupy (or evict)
+  // cache slots. The second offer of the same hash is stored.
   ResultCache cache(4);
   const ResultCache::Key key{7, 42};
   EXPECT_EQ(cache.Lookup(key), nullptr);
   EXPECT_EQ(cache.misses(), 1u);
   cache.Insert(key, Ids({1, 2, 3}));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.declined(), 1u);
+  EXPECT_EQ(cache.Lookup(key), nullptr)
+      << "a first-seen polygon must not be cached";
+  cache.Insert(key, Ids({1, 2, 3}));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.admitted(), 1u);
   const auto found = cache.Lookup(key);
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(*found, (std::vector<PointId>{1, 2, 3}));
   EXPECT_EQ(cache.hits(), 1u);
-  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, SeenHashesSpanVersions) {
+  // The admission memory is keyed on the polygon hash alone: a polygon
+  // that repeats across mutations re-misses (new version) but is admitted
+  // on that version's *first* execution — it already proved it repeats.
+  ResultCache cache(4);
+  Admit(cache, {1, 99}, Ids({10}));
+  ASSERT_NE(cache.Lookup({1, 99}), nullptr);
+  cache.Insert({2, 99}, Ids({10, 11}));  // New version, known hash.
+  const auto v2 = cache.Lookup({2, 99});
+  ASSERT_NE(v2, nullptr) << "a known hash must be admitted on first offer "
+                            "under a new version";
+  EXPECT_EQ(v2->size(), 2u);
 }
 
 TEST(ResultCacheTest, VersionIsPartOfTheKey) {
@@ -68,37 +99,79 @@ TEST(ResultCacheTest, VersionIsPartOfTheKey) {
   // for the same polygon hash, and the old entry keeps serving readers
   // still pinned on the old version.
   ResultCache cache(4);
-  cache.Insert({1, 99}, Ids({10}));
+  Admit(cache, {1, 99}, Ids({10}));
   EXPECT_EQ(cache.Lookup({2, 99}), nullptr);
   ASSERT_NE(cache.Lookup({1, 99}), nullptr);
-  cache.Insert({2, 99}, Ids({10, 11}));
+  Admit(cache, {2, 99}, Ids({10, 11}));
   EXPECT_EQ(cache.Lookup({1, 99})->size(), 1u);
   EXPECT_EQ(cache.Lookup({2, 99})->size(), 2u);
 }
 
 TEST(ResultCacheTest, LruEvictsTheColdestEntry) {
   ResultCache cache(2);
-  cache.Insert({1, 1}, Ids({1}));
-  cache.Insert({1, 2}, Ids({2}));
+  Admit(cache, {1, 1}, Ids({1}));
+  Admit(cache, {1, 2}, Ids({2}));
   // Touch (1,1) so (1,2) is now least recently used.
   ASSERT_NE(cache.Lookup({1, 1}), nullptr);
-  cache.Insert({1, 3}, Ids({3}));
+  Admit(cache, {1, 3}, Ids({3}));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
   EXPECT_NE(cache.Lookup({1, 1}), nullptr);
   EXPECT_NE(cache.Lookup({1, 3}), nullptr);
 }
 
+TEST(ResultCacheTest, OneShotScanDoesNotEvictRepeaters) {
+  // The eviction-pressure case the admission policy exists for: a hot
+  // entry that proved it repeats, then a scan of `capacity * 4` distinct
+  // one-shot polygons. Pre-admission-policy, the scan would sweep the hot
+  // entry out of the 2-slot LRU; with second-hit admission every one-shot
+  // offer is declined, so the hot entry survives untouched.
+  ResultCache cache(2);
+  Admit(cache, {1, 7000}, Ids({1, 2, 3}));
+  ASSERT_NE(cache.Lookup({1, 7000}), nullptr);
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const ResultCache::Key one_shot{1, 100 + i};
+    EXPECT_EQ(cache.Lookup(one_shot), nullptr);
+    cache.Insert(one_shot, Ids({static_cast<PointId>(i)}));
+  }
+  EXPECT_EQ(cache.size(), 1u) << "one-shot offers must not occupy slots";
+  ASSERT_NE(cache.Lookup({1, 7000}), nullptr)
+      << "the proven repeater must survive the scan";
+  EXPECT_EQ(cache.declined(), 8u + 1u);  // 8 one-shots + the hot first offer.
+}
+
+TEST(ResultCacheTest, SeenSetIsBoundedUnderUnboundedScan) {
+  // The admission memory itself is bounded (8x capacity): an unbounded
+  // stream of distinct polygons churns it without growing it, and an
+  // entry evicted from the seen set loses its admission credit — its
+  // next offer is a (declined) first offer again.
+  ResultCache cache(2);  // seen capacity = 16.
+  cache.Insert({1, 5555}, Ids({9}));  // Hash 5555 recorded.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.Insert({1, 10000 + i}, Ids({static_cast<PointId>(i)}));
+  }
+  // 5555's credit was swept out by 64 distinct hashes through a 16-slot
+  // set; this offer is declined (recorded again), not admitted.
+  cache.Insert({1, 5555}, Ids({9}));
+  EXPECT_EQ(cache.Lookup({1, 5555}), nullptr);
+  EXPECT_EQ(cache.admitted(), 0u);
+  // And the very next offer is the second hit: admitted.
+  cache.Insert({1, 5555}, Ids({9}));
+  EXPECT_NE(cache.Lookup({1, 5555}), nullptr);
+}
+
 TEST(ResultCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
   ResultCache cache(2);
-  cache.Insert({1, 1}, Ids({1}));
-  cache.Insert({1, 1}, Ids({1, 2}));
+  Admit(cache, {1, 1}, Ids({1}));
+  cache.Insert({1, 1}, Ids({1, 2}));  // Resident key: refresh, not dup.
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.Lookup({1, 1})->size(), 2u);
 }
 
 TEST(ResultCacheTest, ZeroCapacityDisablesEverything) {
   ResultCache cache(0);
+  cache.Insert({1, 1}, Ids({1}));
   cache.Insert({1, 1}, Ids({1}));
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
@@ -107,9 +180,9 @@ TEST(ResultCacheTest, ZeroCapacityDisablesEverything) {
 TEST(ResultCacheTest, HitHandsBackSharedOwnership) {
   // An evicted entry's ids survive while a reader still holds them.
   ResultCache cache(1);
-  cache.Insert({1, 1}, Ids({5, 6}));
+  Admit(cache, {1, 1}, Ids({5, 6}));
   const auto held = cache.Lookup({1, 1});
-  cache.Insert({1, 2}, Ids({7}));
+  Admit(cache, {1, 2}, Ids({7}));
   EXPECT_EQ(cache.Lookup({1, 1}), nullptr);
   ASSERT_NE(held, nullptr);
   EXPECT_EQ(*held, (std::vector<PointId>{5, 6}));

@@ -1,0 +1,141 @@
+#include "geometry/wkt.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/polygon.h"
+
+namespace vaq {
+namespace {
+
+using Kind = WktParseError::Kind;
+
+Kind ParseKind(const std::string& wkt,
+               std::size_t max_vertices = kDefaultMaxWktVertices) {
+  try {
+    ParseWktPolygon(wkt, max_vertices);
+  } catch (const WktParseError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected WktParseError for: " << wkt;
+  return Kind::kTrailingGarbage;
+}
+
+TEST(WktParseTest, ParsesASquare) {
+  const Polygon p =
+      ParseWktPolygon("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.vertex(0), (Point{0.0, 0.0}));
+  EXPECT_EQ(p.vertex(2), (Point{1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(p.Area(), 1.0);
+}
+
+TEST(WktParseTest, AcceptsFlexibleWhitespaceCaseAndScientificNotation) {
+  const Polygon p = ParseWktPolygon(
+      "  polygon((1e-1 -2.5E2,3 .5,  -4 2,1e-1 -2.5E2))  ");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.vertex(0), (Point{0.1, -250.0}));
+  EXPECT_EQ(p.vertex(1), (Point{3.0, 0.5}));
+}
+
+TEST(WktParseTest, RoundTripsEveryVertexBitForBit) {
+  // ToWkt -> ParseWktPolygon must reproduce exact coordinate bits: the
+  // result cache keys on them, so a lossy round trip would silently turn
+  // repeat client queries into misses (or worse, into false hits).
+  const Polygon original{{{0.1, 0.2},
+                          {std::nextafter(0.7, 1.0), -1.0 / 3.0},
+                          {5e-324, 2.5},  // Smallest subnormal.
+                          {-0.0, 1e308}}};
+  const Polygon reparsed = ParseWktPolygon(ToWkt(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(std::signbit(reparsed.vertex(i).x),
+              std::signbit(original.vertex(i).x));
+    EXPECT_EQ(reparsed.vertex(i).x, original.vertex(i).x) << "vertex " << i;
+    EXPECT_EQ(reparsed.vertex(i).y, original.vertex(i).y) << "vertex " << i;
+  }
+}
+
+// --- The malformed corpus: one typed kind per failure mode. -------------
+
+TEST(WktParseTest, RejectsNonPolygonGeometries) {
+  EXPECT_EQ(ParseKind("POINT (1 2)"), Kind::kBadGeometryType);
+  EXPECT_EQ(ParseKind("LINESTRING (0 0, 1 1)"), Kind::kBadGeometryType);
+  EXPECT_EQ(ParseKind("garbage"), Kind::kBadGeometryType);
+  EXPECT_EQ(ParseKind(""), Kind::kBadGeometryType);
+  // A valid tag followed by the wrong bracket kind is a type error too.
+  EXPECT_EQ(ParseKind("POLYGON [0 0, 1 0, 0 1, 0 0]"),
+            Kind::kBadGeometryType);
+}
+
+TEST(WktParseTest, RejectsTruncatedInputsAtEveryStage) {
+  EXPECT_EQ(ParseKind("POLYGON"), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON ("), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON (("), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON ((0"), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0"), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0,"), Kind::kTruncated);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 0, 1 1, 0 0)"), Kind::kTruncated);
+}
+
+TEST(WktParseTest, RejectsMalformedAndNonFiniteCoordinates) {
+  EXPECT_EQ(ParseKind("POLYGON ((a 0, 1 0, 1 1, a 0))"), Kind::kBadNumber);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 x, 1 1, 0 0))"), Kind::kBadNumber);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0 7, 1 0, 1 1, 0 0))"),
+            Kind::kBadNumber);  // Z coordinates are not supported.
+  EXPECT_EQ(ParseKind("POLYGON ((nan 0, 1 0, 1 1, nan 0))"),
+            Kind::kNonFinite);
+  EXPECT_EQ(ParseKind("POLYGON ((0 inf, 1 0, 1 1, 0 inf))"),
+            Kind::kNonFinite);
+  EXPECT_EQ(ParseKind("POLYGON ((1e999 0, 1 0, 1 1, 1e999 0))"),
+            Kind::kNonFinite);  // Overflows to +inf.
+}
+
+TEST(WktParseTest, RejectsUnclosedAndUndersizedRings) {
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 0, 1 1, 0 1))"),
+            Kind::kUnclosedRing);
+  // Closed but only 2 distinct vertices after dropping the repeat.
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 0, 0 0))"), Kind::kTooFewVertices);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0))"), Kind::kUnclosedRing);
+  EXPECT_EQ(ParseKind("POLYGON EMPTY"), Kind::kTooFewVertices);
+}
+
+TEST(WktParseTest, RejectsInnerRingsAndTrailingGarbage) {
+  EXPECT_EQ(
+      ParseKind("POLYGON ((0 0, 4 0, 4 4, 0 0), (1 1, 2 1, 1 2, 1 1))"),
+      Kind::kInnerRings);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 0, 1 1, 0 0)) extra"),
+            Kind::kTrailingGarbage);
+  EXPECT_EQ(ParseKind("POLYGON ((0 0, 1 0, 1 1, 0 0)))"),
+            Kind::kTrailingGarbage);
+}
+
+TEST(WktParseTest, VertexBoundIsEnforcedBeforeAllocation) {
+  // An input claiming millions of vertices must fail at the bound, not
+  // after materialising them. Build a ring of max+2 vertices against a
+  // small bound and check the typed error (the parser appends at most
+  // bound+1 entries by construction).
+  const std::size_t bound = 8;
+  std::string wkt = "POLYGON ((";
+  for (int i = 0; i < 32; ++i) {
+    wkt += std::to_string(i) + " 0, ";
+  }
+  wkt += "0 0))";
+  EXPECT_EQ(ParseKind(wkt, bound), Kind::kTooManyVertices);
+}
+
+TEST(WktParseTest, ErrorsCarryTheByteOffset) {
+  try {
+    ParseWktPolygon("POLYGON ((0 0, 1 zzz, 1 1, 0 0))");
+    FAIL() << "expected WktParseError";
+  } catch (const WktParseError& e) {
+    EXPECT_EQ(e.kind(), Kind::kBadNumber);
+    EXPECT_EQ(e.offset(), 17u);  // The 'z' of the bad y token.
+  }
+}
+
+}  // namespace
+}  // namespace vaq

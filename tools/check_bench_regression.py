@@ -223,6 +223,52 @@ def check_planner(baseline, new, failures, max_vs_best=None,
     return compared
 
 
+def check_server(baseline, new, time_tol, failures):
+    """BENCH_server.json rows: loopback TCP QPS, keyed by (cell, clients).
+
+    Exact gates first — they are correctness contracts, not perf:
+      * mismatches must be 0 (every networked response is checked against
+        the in-process planned query before timing);
+      * errors must be 0 (a typed server error during a clean loopback
+        bench means the happy path broke);
+      * shed must be 0 (the bench sizes the engine queue so admission
+        control never fires; a shed here means backpressure triggered on
+        an unloaded queue).
+    Throughput gates with the usual host-speed tolerance: qps may not
+    drop below baseline/time_tol, and the p99 latency gets the standard
+    slowdown bound. Rows in only one file (a --quick run's subset) are
+    skipped, same as every other bench branch.
+    """
+    base_by_key = {(r["cell"], r["clients"]): r for r in baseline}
+    compared = 0
+    for row in new:
+        key = (row["cell"], row["clients"])
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        compared += 1
+        where = f"server[{row['cell']}/c{row['clients']}]"
+        if row.get("mismatches", 0) != 0:
+            failures.append(
+                f"{where}: {row['mismatches']} networked-vs-oracle result "
+                f"mismatch(es) — the wire path broke exactness")
+        if row.get("errors", 0) != 0:
+            failures.append(
+                f"{where}: {row['errors']} typed server error(s) during a "
+                f"clean loopback run")
+        if row.get("shed", 0) != 0:
+            failures.append(
+                f"{where}: {row['shed']} request(s) shed — admission "
+                f"control fired on an unloaded queue")
+        if base["qps"] > 0.0 and row["qps"] < base["qps"] / time_tol:
+            failures.append(
+                f"{where}: qps {row['qps']:.0f} vs baseline "
+                f"{base['qps']:.0f} (> {time_tol:.1f}x slower)")
+        check_time(f"{where}.latency_p99_ms", base["latency_p99_ms"],
+                   row["latency_p99_ms"], time_tol, failures)
+    return compared
+
+
 def check_counter(label, base, new, tol, failures, abs_floor=4.0):
     """Relative-drift gate with a sane zero-baseline regime.
 
@@ -276,6 +322,8 @@ def main():
     elif baseline and baseline[0].get("bench") == "ooc_scan":
         compared = check_ooc_scan(baseline, new, args.time_tol,
                                   args.counter_tol, failures)
+    elif baseline and baseline[0].get("bench") == "server":
+        compared = check_server(baseline, new, args.time_tol, failures)
     elif baseline and baseline[0].get("bench") == "planner":
         # Must dispatch before the micro-flood heuristic: planner grid
         # rows do carry a "traditional" key, but their gates are

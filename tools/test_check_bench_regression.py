@@ -410,5 +410,90 @@ class PlannerTest(unittest.TestCase):
         self.assertEqual(result.returncode, 0, result.stdout)
 
 
+class ServerTest(unittest.TestCase):
+    def row(self, **overrides):
+        row = {
+            "bench": "server", "cell": "uncached", "clients": 4,
+            "data_size": 50000, "query_size_fraction": 0.01, "reps": 400,
+            "mismatches": 0, "errors": 0, "shed": 0, "wall_ms": 90.0,
+            "qps": 18000.0, "latency_p50_ms": 0.2, "latency_p95_ms": 0.4,
+            "latency_p99_ms": 0.6,
+        }
+        row.update(overrides)
+        return row
+
+    run_gate = RowMatchingTest.run_gate
+
+    def test_identical_rows_pass(self):
+        result = self.run_gate([self.row()], [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_mismatch_fails_exactly(self):
+        # Every networked answer is checked against the in-process oracle
+        # before timing; a single divergence is a wire-path correctness bug.
+        result = self.run_gate([self.row()], [self.row(mismatches=1)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("exactness", result.stdout)
+
+    def test_error_fails_exactly(self):
+        result = self.run_gate([self.row()], [self.row(errors=2)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("server error", result.stdout)
+
+    def test_shed_fails_exactly(self):
+        # The bench sizes the queue so admission control never fires; a
+        # shed on an unloaded queue means backpressure triggered wrongly.
+        result = self.run_gate([self.row()], [self.row(shed=1)])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("admission", result.stdout)
+
+    def test_qps_within_host_tolerance_passes(self):
+        # A 2.5x slower CI host stays inside the default 3x time-tol.
+        slow = self.row(qps=18000.0 / 2.5, latency_p99_ms=1.5)
+        result = self.run_gate([self.row()], [slow])
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_qps_collapse_fails(self):
+        bad = self.row(qps=18000.0 / 4.0)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("qps", result.stdout)
+
+    def test_p99_blowup_fails(self):
+        bad = self.row(latency_p99_ms=6.0)
+        result = self.run_gate([self.row()], [bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("latency_p99_ms", result.stdout)
+
+    def test_rows_key_on_cell_and_clients(self):
+        # A cached/8-client regression is reported against its own
+        # baseline row, never confused with the uncached/4 row.
+        cached8 = self.row(cell="cached", clients=8, qps=55000.0)
+        cached8_bad = self.row(cell="cached", clients=8, qps=1000.0)
+        result = self.run_gate([self.row(), cached8],
+                               [self.row(), cached8_bad])
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("cached/c8", result.stdout)
+        self.assertNotIn("uncached/c4", result.stdout)
+
+    def test_quick_subset_skips_unmatched_baseline_rows(self):
+        # CI's --quick run may emit fewer client counts than the committed
+        # full baseline; the extra baseline rows just go uncompared.
+        result = self.run_gate([self.row(), self.row(clients=16)],
+                               [self.row()])
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("1 row(s) within tolerance", result.stdout)
+
+    def test_committed_baseline_passes_against_itself(self):
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            os.pardir, "BENCH_server.json")
+        if not os.path.exists(path):
+            self.skipTest("no committed BENCH_server.json")
+        with open(path) as f:
+            rows = json.load(f)
+        result = self.run_gate(rows, rows)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+
 if __name__ == "__main__":
     unittest.main()
